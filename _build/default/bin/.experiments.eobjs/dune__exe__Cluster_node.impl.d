@@ -1,0 +1,1 @@
+bin/cluster_node.ml: Arg Cmd Cmdliner Dcs_modes Dcs_netkit Dcs_proto Dcs_sim Format Int64 List Logs Printf String Term Thread Unix

@@ -1,0 +1,1 @@
+bin/cluster_node.mli:

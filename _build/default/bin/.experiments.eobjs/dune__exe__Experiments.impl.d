@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Cmd Cmdliner Dcs_modes Dcs_proto Dcs_runtime Dcs_stats Dcs_workload List Printf Term

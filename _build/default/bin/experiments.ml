@@ -1,0 +1,170 @@
+(* Command-line harness regenerating every table and figure of the paper's
+   evaluation (see DESIGN.md §4 for the experiment index).
+
+     dcs-experiments tables          Tables 1(a)-(b), 2(a)-(b)
+     dcs-experiments fig5            message overhead vs nodes
+     dcs-experiments fig6            latency factor vs nodes
+     dcs-experiments fig7            message breakdown vs nodes
+     dcs-experiments ablate          protocol ablations
+     dcs-experiments run             one configuration in detail *)
+
+open Cmdliner
+module Figures = Dcs_runtime.Figures
+module Experiment = Dcs_runtime.Experiment
+
+let quick_flag =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Sweep only up to 32 nodes (fast).")
+
+let seed_arg =
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the series as CSV to $(docv).")
+
+let nodes_of quick = if quick then Figures.quick_nodes else Figures.default_nodes
+
+let emit_csv csv series =
+  match csv with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Figures.to_csv series);
+      close_out oc;
+      Printf.printf "\n(wrote %s)\n" file
+
+let fig5_cmd =
+  let run quick seed csv =
+    let series, report = Figures.fig5 ~nodes:(nodes_of quick) ~seed () in
+    print_string report;
+    emit_csv csv series
+  in
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Reproduce Figure 5: message overhead vs number of nodes.")
+    Term.(const run $ quick_flag $ seed_arg $ csv_arg)
+
+let fig6_cmd =
+  let run quick seed csv =
+    let series, report = Figures.fig6 ~nodes:(nodes_of quick) ~seed () in
+    print_string report;
+    emit_csv csv series
+  in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Reproduce Figure 6: request latency factor vs number of nodes.")
+    Term.(const run $ quick_flag $ seed_arg $ csv_arg)
+
+let fig7_cmd =
+  let run quick seed csv =
+    let series, report = Figures.fig7 ~nodes:(nodes_of quick) ~seed () in
+    print_string report;
+    emit_csv csv [ series ]
+  in
+  Cmd.v
+    (Cmd.info "fig7" ~doc:"Reproduce Figure 7: message breakdown vs number of nodes.")
+    Term.(const run $ quick_flag $ seed_arg $ csv_arg)
+
+let tables_cmd =
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Print the protocol decision tables (paper Tables 1a-2b).")
+    Term.(const (fun () -> print_string (Figures.tables ())) $ const ())
+
+let ablate_cmd =
+  let nodes_arg =
+    Arg.(value & opt int 32 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  let run nodes seed = print_string (Figures.ablations ~nodes ~seed ()) in
+  Cmd.v
+    (Cmd.info "ablate" ~doc:"Compare protocol ablations on the airline workload.")
+    Term.(const run $ nodes_arg $ seed_arg)
+
+let run_cmd =
+  let nodes_arg =
+    Arg.(value & opt int 32 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  let driver_arg =
+    let driver_conv =
+      Arg.enum
+        [
+          ("hierarchical", Experiment.Hierarchical);
+          ("naimi-same-work", Experiment.Naimi_same_work);
+          ("naimi-pure", Experiment.Naimi_pure);
+        ]
+    in
+    Arg.(value & opt driver_conv Experiment.Hierarchical & info [ "driver" ] ~docv:"DRIVER"
+           ~doc:"One of hierarchical, naimi-same-work, naimi-pure.")
+  in
+  let oracle_flag =
+    Arg.(value & flag & info [ "oracle" ] ~doc:"Check safety invariants after every message.")
+  in
+  let entries_arg =
+    Arg.(value & opt int 10 & info [ "entries" ] ~docv:"K" ~doc:"Table size (entry locks).")
+  in
+  let ops_arg =
+    Arg.(value & opt int 20 & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per node.")
+  in
+  let run nodes driver seed oracle entries ops =
+    let cfg = Experiment.default_config ~driver ~nodes in
+    let workload =
+      { cfg.Experiment.workload with Dcs_workload.Airline.entries; ops_per_node = ops }
+    in
+    let cfg = { cfg with Experiment.seed; oracle; workload } in
+    let r = Experiment.run cfg in
+    print_string
+      (Dcs_stats.Table.render ~header:Experiment.row_header [ Experiment.result_row r ]);
+    Printf.printf "\nmessage breakdown (per op):\n";
+    List.iter
+      (fun (c, k) ->
+        Printf.printf "  %-8s %7.3f\n"
+          (Dcs_proto.Msg_class.to_string c)
+          (float_of_int k /. float_of_int r.Experiment.ops))
+      r.Experiment.messages;
+    Printf.printf "\nper request class (count, mean acquisition ms):\n";
+    List.iter
+      (fun (m, n, mean) ->
+        Printf.printf "  %-3s %6d  %9.1f\n" (Dcs_modes.Mode.to_string m) n mean)
+      r.Experiment.per_class;
+    Printf.printf "\nacquisition latency histogram (ms):\n";
+    let h = Dcs_stats.Histogram.create ~base:2.0 ~min_value:10.0 () in
+    List.iter (Dcs_stats.Histogram.add h) (Dcs_stats.Sample.values r.Experiment.latencies);
+    print_string (Dcs_stats.Histogram.render h);
+    Printf.printf "\nsimulated %.1f s, %d engine events\n"
+      (r.Experiment.sim_duration_ms /. 1000.)
+      r.Experiment.events
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one experiment configuration and print details.")
+    Term.(const run $ nodes_arg $ driver_arg $ seed_arg $ oracle_flag $ entries_arg $ ops_arg)
+
+let topology_cmd =
+  let nodes_arg =
+    Arg.(value & opt int 32 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  let run nodes seed = print_string (Figures.topology_study ~nodes ~seed ()) in
+  Cmd.v
+    (Cmd.info "topology" ~doc:"Locality study: uniform vs racked vs star latency topologies.")
+    Term.(const run $ nodes_arg $ seed_arg)
+
+let entries_cmd =
+  let nodes_arg =
+    Arg.(value & opt int 48 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  let run nodes seed = print_string (Figures.entries_study ~nodes ~seed ()) in
+  Cmd.v
+    (Cmd.info "entries" ~doc:"Table-size sensitivity of the same-work comparison.")
+    Term.(const run $ nodes_arg $ seed_arg)
+
+let variance_cmd =
+  let run quick =
+    let nodes = if quick then [ 8; 16 ] else [ 16; 48; 96 ] in
+    print_string (Figures.seed_variance ~nodes ())
+  in
+  Cmd.v
+    (Cmd.info "variance" ~doc:"Headline metrics as mean +/- sd across seeds.")
+    Term.(const run $ quick_flag)
+
+let () =
+  let doc = "Reproduction harness for 'Scalable Distributed Concurrency Services for Hierarchical Locking' (ICDCS 2003)." in
+  let info = Cmd.info "dcs-experiments" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ tables_cmd; fig5_cmd; fig6_cmd; fig7_cmd; ablate_cmd; topology_cmd; entries_cmd; variance_cmd; run_cmd ]))

@@ -1,0 +1,1 @@
+examples/airline.ml: Array Core List Printf Sys

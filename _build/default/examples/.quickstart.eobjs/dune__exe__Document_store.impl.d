@@ -1,0 +1,1 @@
+examples/document_store.ml: Core Format List Printf

@@ -1,0 +1,1 @@
+examples/fairness.ml: Core Printf

@@ -1,0 +1,1 @@
+examples/realtime.ml: Core Printf

@@ -1,0 +1,36 @@
+(* The paper's motivating application: a multi-airline reservation system.
+
+   A shared ticket-price table is accessed by every node — mostly entry
+   reads (table IR + entry R), some whole-table reads (R), occasional
+   upgrade-reads (U, half of which upgrade to W in place), entry writes
+   (table IW + entry W) and rare whole-table writes (W). This runs the full
+   §4 experiment at a modest size and prints the paper's metrics.
+
+   Run with:  dune exec examples/airline.exe -- [nodes] *)
+
+let () =
+  let nodes =
+    if Array.length Sys.argv > 1 then max 2 (int_of_string Sys.argv.(1)) else 24
+  in
+  Printf.printf "Airline reservation workload, %d nodes (paper §4 parameters)\n\n" nodes;
+  let rows =
+    List.map
+      (fun driver ->
+        let cfg = Core.Experiment.default_config ~driver ~nodes in
+        Core.Experiment.result_row (Core.Experiment.run cfg))
+      Core.Experiment.[ Hierarchical; Naimi_same_work; Naimi_pure ]
+  in
+  print_string (Core.Stats_table.render ~header:Core.Experiment.row_header rows);
+  print_newline ();
+  let ours = Core.Experiment.run (Core.Experiment.default_config ~driver:Core.Experiment.Hierarchical ~nodes) in
+  Printf.printf "Hierarchical message breakdown (per operation):\n";
+  List.iter
+    (fun (cls, count) ->
+      Printf.printf "  %-8s %6.2f\n" (Core.Msg_class.to_string cls)
+        (float_of_int count /. float_of_int ours.Core.Experiment.ops))
+    ours.Core.Experiment.messages;
+  Printf.printf "\nPer request class (count, mean acquisition latency):\n";
+  List.iter
+    (fun (mode, count, mean) ->
+      Printf.printf "  %-3s %5d ops  %8.1f ms\n" (Core.Mode.to_string mode) count mean)
+    ours.Core.Experiment.per_class

@@ -1,0 +1,1 @@
+lib/core/core.ml: Dcs_hlock Dcs_modes Dcs_naimi Dcs_proto Dcs_runtime Dcs_sim Dcs_stats Dcs_workload Hierarchy Service

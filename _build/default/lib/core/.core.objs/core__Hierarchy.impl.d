@@ -1,0 +1,1 @@
+lib/core/hierarchy.ml: Dcs_modes Hashtbl List Mode Printf Service

@@ -1,0 +1,1 @@
+lib/core/hierarchy.mli: Dcs_modes Service

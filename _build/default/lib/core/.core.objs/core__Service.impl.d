@@ -1,0 +1,1 @@
+lib/core/service.ml: Dcs_modes Dcs_runtime Dcs_sim Hashtbl List Printf

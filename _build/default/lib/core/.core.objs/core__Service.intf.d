@@ -1,0 +1,1 @@
+lib/core/service.mli: Dcs_hlock Dcs_modes Dcs_proto Dcs_sim

@@ -1,0 +1,88 @@
+open Dcs_modes
+
+type t = {
+  parents : (string, string option) Hashtbl.t;
+  ordered : string list;  (* parents before children *)
+}
+
+let create specs =
+  let parents = Hashtbl.create 16 in
+  List.iter
+    (fun (name, parent) ->
+      if Hashtbl.mem parents name then
+        invalid_arg (Printf.sprintf "Hierarchy.create: duplicate resource %S" name);
+      Hashtbl.replace parents name parent)
+    specs;
+  Hashtbl.iter
+    (fun name parent ->
+      match parent with
+      | None -> ()
+      | Some p ->
+          if not (Hashtbl.mem parents p) then
+            invalid_arg (Printf.sprintf "Hierarchy.create: %S has unknown parent %S" name p))
+    parents;
+  (* Depth computation doubles as the cycle check. *)
+  let rec depth seen name =
+    if List.mem name seen then
+      invalid_arg (Printf.sprintf "Hierarchy.create: cycle through %S" name);
+    match Hashtbl.find parents name with
+    | None -> 0
+    | Some p -> 1 + depth (name :: seen) p
+  in
+  let ordered =
+    List.map fst specs
+    |> List.map (fun name -> (depth [] name, name))
+    |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+  in
+  { parents; ordered }
+
+let names t = t.ordered
+
+let ancestors t name =
+  if not (Hashtbl.mem t.parents name) then raise Not_found;
+  let rec up acc name =
+    match Hashtbl.find t.parents name with
+    | None -> acc
+    | Some p -> up (p :: acc) p
+  in
+  up [] name
+
+type access =
+  | Read
+  | Write
+  | Upgrade_read
+  | Intend_read
+  | Intend_write
+
+let modes_of = function
+  | Read -> (Mode.IR, Mode.R)
+  | Write -> (Mode.IW, Mode.W)
+  | Upgrade_read -> (Mode.IW, Mode.U)
+  | Intend_read -> (Mode.IR, Mode.IR)
+  | Intend_write -> (Mode.IW, Mode.IW)
+
+let plan t ~name ~access =
+  let intent, target = modes_of access in
+  List.map (fun a -> (a, intent)) (ancestors t name) @ [ (name, target) ]
+
+type grant = {
+  tickets : Service.ticket list;  (* top-down, target last *)
+}
+
+let acquire ?priority t svc ~node ~name ~access k =
+  let chain = plan t ~name ~access in
+  let rec go acc = function
+    | [] -> k { tickets = List.rev acc }
+    | (lock_name, mode) :: rest ->
+        Service.lock ?priority svc ~node ~name:lock_name ~mode (fun ticket ->
+            go (ticket :: acc) rest)
+  in
+  go [] chain
+
+let release svc grant = List.iter (Service.unlock svc) (List.rev grant.tickets)
+
+let target_ticket grant =
+  match List.rev grant.tickets with
+  | target :: _ -> target
+  | [] -> invalid_arg "Hierarchy.target_ticket: empty grant"

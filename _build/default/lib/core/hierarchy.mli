@@ -1,0 +1,67 @@
+(** Multi-granularity lock hierarchies.
+
+    The paper's evaluation uses two levels (table → entries); real
+    deployments want arbitrary trees (database → table → page → row, or
+    store → collection → document). This module plans the intention-mode
+    chains of Gray et al.'s multi-granularity protocol over any declared
+    tree: accessing a resource takes [IR]/[IW] on every ancestor, top-down,
+    and the requested mode on the resource itself — release is bottom-up.
+
+    The planner is pure; {!acquire} executes a plan against a
+    {!Core.Service.t} (the hierarchy's names must all be lock names of the
+    service). *)
+
+type t
+
+(** [create specs] declares resources as [(name, parent)] pairs; [None]
+    parents are roots. Raises [Invalid_argument] on duplicate names,
+    unknown parents, or cycles. Order of declaration does not matter. *)
+val create : (string * string option) list -> t
+
+(** All resource names, parents before children (a valid creation order
+    for {!Core.Service.create}'s [locks]). *)
+val names : t -> string list
+
+(** Ancestors of [name], outermost first (excluding [name] itself).
+    Raises [Not_found] for unknown names. *)
+val ancestors : t -> string -> string list
+
+(** The access classes of multi-granularity locking. *)
+type access =
+  | Read  (** [R] on the target, [IR] on ancestors *)
+  | Write  (** [W] on the target, [IW] on ancestors *)
+  | Upgrade_read  (** [U] on the target (upgradeable later), [IW] on
+                      ancestors so the upgrade never violates the
+                      hierarchy *)
+  | Intend_read  (** [IR] on the target and ancestors: announce finer
+                      reads below without locking the target itself *)
+  | Intend_write  (** [IW] on the target and ancestors *)
+
+(** [plan t ~name ~access] is the lock sequence, top-down:
+    [(lock-name, mode)] pairs ending with the target. *)
+val plan : t -> name:string -> access:access -> (string * Dcs_modes.Mode.t) list
+
+(** {1 Execution against a service} *)
+
+(** A granted plan: the tickets for the whole chain. *)
+type grant
+
+(** [acquire t svc ~node ~name ~access k] takes the plan's locks in order
+    and calls [k grant] once the whole chain is held. [priority] applies
+    to every request in the chain. *)
+val acquire :
+  ?priority:int ->
+  t ->
+  Service.t ->
+  node:int ->
+  name:string ->
+  access:access ->
+  (grant -> unit) ->
+  unit
+
+(** Release every lock of the chain, finest first. *)
+val release : Service.t -> grant -> unit
+
+(** The ticket for the target resource itself (e.g. to [change_mode] an
+    [Upgrade_read] grant to [W]). *)
+val target_ticket : grant -> Service.ticket

@@ -1,0 +1,141 @@
+module Mode = Dcs_modes.Mode
+module Rng = Dcs_sim.Rng
+module Dist = Dcs_sim.Dist
+module Engine = Dcs_sim.Engine
+module Net = Dcs_runtime.Net
+module Hlock_cluster = Dcs_runtime.Hlock_cluster
+
+  type ticket = {
+    node : int;
+    lock : int;
+    mutable seq : int;
+    mutable state : [ `Held | `Released | `Abandoned ];
+  }
+
+  type t = {
+    engine : Engine.t;
+    net : Net.t;
+    cluster : Hlock_cluster.t;
+    names : string list;
+    index : (string, int) Hashtbl.t;
+    mutable outstanding : int;
+    kick_scheduled : bool ref;
+  }
+
+  let create ?config ?(latency = Dist.uniform_around 150.0) ?(seed = 42L) ?(oracle = false)
+      ~nodes ~locks () =
+    if locks = [] then invalid_arg "Service.create: need at least one lock name";
+    let index = Hashtbl.create 16 in
+    List.iteri
+      (fun i name ->
+        if Hashtbl.mem index name then
+          invalid_arg (Printf.sprintf "Service.create: duplicate lock name %S" name);
+        Hashtbl.replace index name i)
+      locks;
+    let engine = Engine.create () in
+    let rng = Rng.create ~seed in
+    let net = Net.create ~engine ~latency ~rng () in
+    let cluster = Hlock_cluster.create ?config ~oracle ~net ~nodes ~locks:(List.length locks) () in
+    { engine; net; cluster; names = locks; index; outstanding = 0; kick_scheduled = ref false }
+
+  let lock_names t = t.names
+
+  let lock_id t name =
+    match Hashtbl.find_opt t.index name with
+    | Some i -> i
+    | None -> raise Not_found
+
+  (* The custody watchdog runs while requests are outstanding. *)
+  let rec ensure_kicking t =
+    if not !(t.kick_scheduled) then begin
+      t.kick_scheduled := true;
+      Engine.schedule t.engine ~after:(8.0 *. Net.mean_latency t.net) (fun () ->
+          t.kick_scheduled := false;
+          if t.outstanding > 0 then begin
+            Hlock_cluster.kick_all t.cluster;
+            ensure_kicking t
+          end)
+    end
+
+  let lock ?priority t ~node ~name ~mode k =
+    let lock = lock_id t name in
+    t.outstanding <- t.outstanding + 1;
+    ensure_kicking t;
+    (* The grant may fire synchronously inside [request], before we know
+       the ticket number: bind it through the ticket record. *)
+    let ticket = { node; lock; seq = -1; state = `Held } in
+    let granted_early = ref false in
+    let seq =
+      Hlock_cluster.request ?priority t.cluster ~node ~lock ~mode ~on_granted:(fun () ->
+          t.outstanding <- t.outstanding - 1;
+          if ticket.seq >= 0 then k ticket else granted_early := true)
+    in
+    ticket.seq <- seq;
+    if !granted_early then k ticket
+
+  let try_lock t ~node ~name ~mode ~timeout k =
+    let lock = lock_id t name in
+    t.outstanding <- t.outstanding + 1;
+    ensure_kicking t;
+    let answered = ref false in
+    let ticket = { node; lock; seq = -1; state = `Held } in
+    let granted_early = ref false in
+    let on_grant () =
+      t.outstanding <- t.outstanding - 1;
+      if !answered then begin
+        (* The caller already gave up: release the late grant. *)
+        ticket.state <- `Abandoned;
+        Hlock_cluster.release t.cluster ~node ~lock ~seq:ticket.seq
+      end
+      else begin
+        answered := true;
+        k (Some ticket)
+      end
+    in
+    let seq =
+      Hlock_cluster.request t.cluster ~node ~lock ~mode ~on_granted:(fun () ->
+          if ticket.seq >= 0 then on_grant () else granted_early := true)
+    in
+    ticket.seq <- seq;
+    if !granted_early then on_grant ();
+    Engine.schedule t.engine ~after:timeout (fun () ->
+        if not !answered then begin
+          answered := true;
+          k None
+        end)
+
+  let unlock t ticket =
+    (match ticket.state with
+    | `Held -> ()
+    | `Released | `Abandoned -> invalid_arg "Service.unlock: ticket already released");
+    ticket.state <- `Released;
+    Hlock_cluster.release t.cluster ~node:ticket.node ~lock:ticket.lock ~seq:ticket.seq
+
+  let change_mode t ticket ~mode k =
+    if not (Mode.equal mode Mode.W) then
+      invalid_arg "Service.change_mode: only the U->W upgrade is supported";
+    (match ticket.state with
+    | `Held -> ()
+    | `Released | `Abandoned -> invalid_arg "Service.change_mode: ticket not held");
+    t.outstanding <- t.outstanding + 1;
+    ensure_kicking t;
+    Hlock_cluster.upgrade t.cluster ~node:ticket.node ~lock:ticket.lock ~seq:ticket.seq
+      ~on_upgraded:(fun () ->
+        t.outstanding <- t.outstanding - 1;
+        k ())
+
+  let now t = Engine.now t.engine
+
+  let schedule t ~after f = Engine.schedule t.engine ~after f
+
+  let run t =
+    (match Engine.run t.engine with
+    | Engine.Drained -> ()
+    | Engine.Horizon_reached | Engine.Event_limit ->
+        failwith "Service.run: simulation did not drain");
+    if t.outstanding > 0 then
+      failwith (Printf.sprintf "Service.run: %d requests never granted" t.outstanding)
+
+  let message_counters t = Net.counters t.net
+
+  let mean_latency t = Net.mean_latency t.net

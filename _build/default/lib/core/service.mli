@@ -1,0 +1,70 @@
+(** The CORBA-style lock-set service over a simulated cluster; see
+    {!Core.Service} for the overview. *)
+
+module Mode = Dcs_modes.Mode
+module Dist = Dcs_sim.Dist
+
+  type t
+
+  (** A granted lock, to be passed to {!unlock} or {!change_mode}. *)
+  type ticket
+
+  (** [create ~nodes ~locks ()] builds a simulated cluster of [nodes]
+      application nodes sharing the named lock objects. [latency] is the
+      point-to-point message delay model (default: uniform around 150 ms,
+      the paper's LAN), [seed] makes runs reproducible, [config] selects
+      protocol ablations, and [oracle] enables the runtime safety
+      checker. Duplicate names are rejected. *)
+  val create :
+    ?config:Dcs_hlock.Node.config ->
+    ?latency:Dist.t ->
+    ?seed:int64 ->
+    ?oracle:bool ->
+    nodes:int ->
+    locks:string list ->
+    unit ->
+    t
+
+  (** Lock names supplied at creation. *)
+  val lock_names : t -> string list
+
+  (** [lock t ~node ~name ~mode k] requests [name] in [mode] on behalf of
+      [node]; [k ticket] runs when granted (possibly immediately).
+      [priority] (default 0, non-negative) is served first from contended
+      queues. Raises [Not_found] for unknown names. *)
+  val lock :
+    ?priority:int -> t -> node:int -> name:string -> mode:Mode.t -> (ticket -> unit) -> unit
+
+  (** [try_lock] is [lock] that gives up if the grant has not arrived
+      within [timeout] simulated ms: [k (Some ticket)] on grant, [k None]
+      on timeout (a late grant is then released automatically). *)
+  val try_lock :
+    t -> node:int -> name:string -> mode:Mode.t -> timeout:float -> (ticket option -> unit) -> unit
+
+  (** Release a granted lock. A ticket can be released once; reuse raises
+      [Invalid_argument]. *)
+  val unlock : t -> ticket -> unit
+
+  (** [change_mode t ticket ~mode k]: the OMG change-mode operation,
+      supported for the U→W upgrade (Rule 7); [k ()] runs when the ticket
+      is held in [W]. Raises [Invalid_argument] for other conversions. *)
+  val change_mode : t -> ticket -> mode:Mode.t -> (unit -> unit) -> unit
+
+  (** {2 Simulation control} *)
+
+  (** Current simulated time (ms). *)
+  val now : t -> float
+
+  (** Schedule work on the simulated clock (e.g. the body of a critical
+      section). *)
+  val schedule : t -> after:float -> (unit -> unit) -> unit
+
+  (** Run until the event queue drains; raises [Failure] if requests remain
+      unserved (liveness) or the oracle finds damage. *)
+  val run : t -> unit
+
+  (** Messages sent so far, by class. *)
+  val message_counters : t -> Dcs_proto.Counters.t
+
+  (** Mean point-to-point latency of the configured model. *)
+  val mean_latency : t -> float

@@ -1,0 +1,1 @@
+lib/hlock/msg.ml: Dcs_modes Dcs_proto Format List Mode Mode_set Msg_class Node_id Printf String

@@ -1,0 +1,1 @@
+lib/hlock/msg.mli: Dcs_modes Dcs_proto Format Mode Mode_set Msg_class Node_id

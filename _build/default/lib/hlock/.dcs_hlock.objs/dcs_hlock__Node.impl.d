@@ -1,0 +1,1 @@
+lib/hlock/node.ml: Compat Dcs_modes Dcs_proto Format Hashtbl List Mode Mode_set Msg Node_id Printf String

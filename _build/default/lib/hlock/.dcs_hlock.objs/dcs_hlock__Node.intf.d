@@ -1,0 +1,1 @@
+lib/hlock/node.mli: Dcs_modes Dcs_proto Format Mode Mode_set Msg Node_id

@@ -1,0 +1,80 @@
+open Dcs_modes
+open Dcs_proto
+
+type request = {
+  requester : Node_id.t;
+  seq : int;
+  mode : Mode.t;
+  upgrade : bool;
+  timestamp : int;
+  priority : int;
+  hops : int;
+  token_only : bool;
+  hint : int * Node_id.t;
+  path : Node_id.t list;
+}
+
+type t =
+  | Request of request
+  | Grant of { req : request; epoch : int; ancestry : Node_id.t list }
+  | Token of {
+      serving : request;
+      sender_owned : Mode.t option;
+      sender_epoch : int;
+      queue : request list;
+      frozen : Mode_set.t;
+    }
+  | Release of { new_owned : Mode.t option; epoch : int }
+  | Freeze of { frozen : Mode_set.t }
+
+let class_of = function
+  | Request _ -> Msg_class.Request
+  | Grant _ -> Msg_class.Copy_grant
+  | Token _ -> Msg_class.Token_transfer
+  | Release _ -> Msg_class.Release
+  | Freeze _ -> Msg_class.Freeze
+
+let pp_request ppf r =
+  Format.fprintf ppf "{n%d#%d %a%s @@%d%s}" r.requester r.seq Mode.pp r.mode
+    (if r.upgrade then "^" else "")
+    r.timestamp
+    (if r.priority = 0 then "" else Printf.sprintf " p%d" r.priority)
+
+let pp_owned ppf = function
+  | None -> Format.pp_print_string ppf "_"
+  | Some m -> Mode.pp ppf m
+
+let pp ppf = function
+  | Request r -> Format.fprintf ppf "Request %a" pp_request r
+  | Grant { req; epoch; ancestry } ->
+      Format.fprintf ppf "Grant %a e%d anc=[%s]" pp_request req epoch
+        (String.concat "," (List.map string_of_int ancestry))
+  | Token { serving; sender_owned; sender_epoch; queue; frozen } ->
+      Format.fprintf ppf "Token serving=%a sender_owned=%a e%d |queue|=%d frozen=%a" pp_request
+        serving pp_owned sender_owned sender_epoch (List.length queue) Mode_set.pp frozen
+  | Release { new_owned; epoch } ->
+      Format.fprintf ppf "Release new_owned=%a e%d" pp_owned new_owned epoch
+  | Freeze { frozen } -> Format.fprintf ppf "Freeze %a" Mode_set.pp frozen
+
+let request_same a b = a.requester = b.requester && a.seq = b.seq
+
+let request_key r = (r.timestamp, r.requester, r.seq)
+
+let request_lt a b = request_key a < request_key b
+
+let service_key r = ((if r.upgrade then 0 else 1), -r.priority, request_key r)
+
+let service_order a b = compare (service_key a) (service_key b)
+
+let insert_by_service_order r queue =
+  let rec go = function
+    | [] -> [ r ]
+    | head :: rest as q -> if service_order r head < 0 then r :: q else head :: go rest
+  in
+  go queue
+
+let merge_queues a b =
+  (* Stable sort by the service order: priorities first, then Lamport key,
+     so causally ordered requests keep their order within a priority level
+     and concurrent ones get a deterministic total order. *)
+  List.stable_sort service_order (a @ b)

@@ -1,0 +1,117 @@
+(** Wire messages of the hierarchical-locking protocol (one lock object).
+
+    Six message kinds drive the protocol (paper §3.4 "receiving request,
+    grant, token, release, freeze and update messages"); the paper's
+    "update" is subsumed here by {!Release} carrying the child's new owned
+    mode (including [None] = detach). *)
+
+open Dcs_modes
+open Dcs_proto
+
+(** A lock request as it travels the tree toward a granter. *)
+type request = {
+  requester : Node_id.t;  (** the node that wants the lock *)
+  seq : int;  (** requester-local sequence number; [(requester, seq)] is a
+                  globally unique request id, echoed back in grants *)
+  mode : Mode.t;  (** requested mode *)
+  upgrade : bool;  (** Rule 7: a [W] request by the holder of the [U] lock;
+                       the requester's own [U] is masked when checking
+                       grantability *)
+  timestamp : int;  (** Lamport time at issue; used to merge local queues
+                        FIFO-consistently on token transfer *)
+  priority : int;  (** request priority (0 = default; larger = more
+                       urgent). Queues serve strictly by descending
+                       priority, FIFO (Lamport order) within a priority
+                       level — the prioritized-token semantics of the
+                       authors' earlier protocols [11, 12] that this
+                       paper's FIFO model generalizes. Non-negative. *)
+  hops : int;  (** relay hops so far; when it exceeds twice the population
+                   the request switches to sweep routing *)
+  token_only : bool;
+      (** Serve this request only at the token node. Set when the requester
+          already owns a covering compatible mode and is blocked purely by
+          a frozen-mode drain: letting a node inside the requester's own
+          accounting subtree grant it could close an accounting ring that
+          disconnects a whole group of holders from the token (a safety
+          hazard); queueing it at the token is also what FIFO fairness
+          wants. *)
+  hint : int * Dcs_proto.Node_id.t;
+      (** the freshest token location the sender knows, as
+          [(tenure, owner)] — tenure increments at every token transfer.
+          Receivers keep the max-tenure hint they have seen; requests that
+          cannot make progress along tree pointers jump to the hinted
+          owner, which is at worst a few transfer edges behind the token. *)
+  path : Dcs_proto.Node_id.t list;
+      (** nodes visited (requester and relayers, newest first), used by
+          sweep routing. Under normal routing requests simply follow
+          parent pointers — revisits are fine because pointers mutate
+          underneath. A request whose hop count exceeds [2·peers] is
+          assumed trapped in a transient routing cycle and switches to a
+          sweep: lowest-id unvisited node next, which must reach a node
+          that takes custody (the token holder in the worst case). *)
+}
+
+type t =
+  | Request of request
+      (** A request being issued or relayed up parent links (Rules 2, 4). *)
+  | Grant of { req : request; epoch : int; ancestry : Dcs_proto.Node_id.t list }
+      (** Copy grant: the sender granted [req] and adopted the requester as
+          its child (Rule 3). Sent directly to [req.requester]. [epoch] is
+          the granter's fresh epoch for this parent/child relationship;
+          the child echoes it in every {!Release} so the granter can drop
+          release messages that crossed the grant in flight. [ancestry] is
+          the granter's accounting-ancestor chain (nearest first, granter
+          not included); the grantee prepends the granter and adopts it, so
+          it can refuse to child-grant to its own (approximate)
+          ancestors. *)
+  | Token of {
+      serving : request;  (** the request answered by this transfer *)
+      sender_owned : Mode.t option;
+          (** sender's residual owned mode; [Some m] makes the sender a
+              child of the new token node, [None] detaches it *)
+      sender_epoch : int;
+          (** epoch pairing the sender-as-child with the new token node *)
+      queue : request list;  (** sender's local queue, FIFO order *)
+      frozen : Mode_set.t;  (** frozen modes at handover *)
+    }  (** Token transfer (Rule 3.2 operational, Rule 4's queue handoff). *)
+  | Release of { new_owned : Mode.t option; epoch : int }
+      (** The sending child's owned mode changed to [new_owned]; [None]
+          removes it from the copyset (Rule 5.2). Also used as a detach
+          notice when a child is re-parented by a grant from a different
+          node, and (rarely) as a strengthening "update" after a grant
+          raced a release. Applied by the parent only when [epoch] matches
+          its current record for the child. *)
+  | Freeze of { frozen : Mode_set.t }
+      (** Full replacement of the receiver's frozen-mode set (Rule 6);
+          a shrinking set un-freezes. *)
+
+(** Figure-7 bucket of a message. *)
+val class_of : t -> Msg_class.t
+
+val pp_request : Format.formatter -> request -> unit
+val pp : Format.formatter -> t -> unit
+
+(** Requests are equal iff their [(requester, seq)] ids are. *)
+val request_same : request -> request -> bool
+
+(** Total order on requests by [(timestamp, requester, seq)] — the global
+    serialization order used for the absorption rule (a node only queues
+    same-mode requests {e younger} than its own pending one; older requests
+    are relayed onward, so custody chains always point from younger to
+    older and the globally oldest request can never be captured in a
+    circular wait). Deliberately ignores priority: custody acyclicity needs
+    a priority-independent order. *)
+val request_lt : request -> request -> bool
+
+(** Queue service order: upgrades first (Rule 7), then by descending
+    priority, then the {!request_lt} FIFO order. *)
+val service_order : request -> request -> int
+
+(** Insert into a queue kept sorted by {!service_order} (stable: equal
+    keys keep arrival order). *)
+val insert_by_service_order : request -> request list -> request list
+
+(** FIFO-merge two queues by [(timestamp, requester, seq)]; both inputs must
+    be sorted the same way (they are, being FIFO queues of Lamport-stamped
+    requests). *)
+val merge_queues : request list -> request list -> request list

@@ -1,0 +1,771 @@
+open Dcs_modes
+open Dcs_proto
+
+type config = {
+  eager_release : bool;
+  freezing : bool;
+  reverse_all : bool;
+  grant_edges : bool;
+  caching : bool;
+}
+
+let default_config =
+  { eager_release = false; freezing = true; reverse_all = false; grant_edges = true; caching = true }
+
+type t = {
+  config : config;
+  id : Node_id.t;
+  peers : int;  (* cluster size; node ids are 0..peers-1 *)
+  send : dst:Node_id.t -> Msg.t -> unit;
+  on_granted : Msg.request -> unit;
+  on_upgraded : int -> unit;
+  mutable token : bool;
+  mutable parent : Node_id.t option;
+  mutable parent_stamp : int;  (* token-tenure knowledge when [parent] was set *)
+  (* The node whose children-map currently accounts our subtree, and the
+     epoch of that record. Usually equals [parent]; [None] when we own ⊥ or
+     hold the token. *)
+  mutable accounted_parent : Node_id.t option;
+  mutable accounted_epoch : int;
+  (* Best-effort mirror of the mode the accounting parent records for us;
+     Rule 5.2 sends a release exactly when owned drops below it. *)
+  mutable last_reported : Mode.t option;
+  mutable held : (int * Mode.t) list;
+  (* Modes granted to this node that no local client currently holds, kept
+     in the copyset Li/Hudak-style so re-acquisition is message-free
+     (Rule 2); dropped on freeze/conflict (revocation). *)
+  mutable cached : Mode_set.t;
+  children : (Node_id.t, Mode.t * int) Hashtbl.t;
+  mutable queue : Msg.request list;  (* FIFO, head first *)
+  mutable pending : Msg.request option;
+  (* first hop our pending request took; rejected elder requests follow it *)
+  mutable pending_trail : Node_id.t option;
+  mutable frozen : Mode_set.t;
+  sent_freeze : (Node_id.t, Mode_set.t) Hashtbl.t;
+  mutable kick_marks : (Node_id.t * int) list;
+  mutable tenure : int;  (* valid while we hold or last held the token *)
+  mutable hint : int * Node_id.t;  (* freshest known (tenure, token owner) *)
+  mutable last_granter : Node_id.t option;
+  (* Approximate accounting ancestry (nearest first), piggybacked on grants;
+     used to refuse grants to our own ancestors (ring prevention, second
+     line of defence). *)
+  mutable ancestry : Node_id.t list;
+  (* Adaptive routing signal: was our own last service a token transfer?
+     Transfer-dominated locks (fine-grained, low-concurrency) behave like
+     Naimi and want full path reversal; copy-dominated locks (coarse,
+     read-shared) want stable routes to the granting region. *)
+  mutable saw_transfer : bool;
+  mutable served_ever : bool;
+  mutable next_seq : int;
+  mutable clock : int;  (* Lamport *)
+  mutable epoch_counter : int;
+}
+
+let create ?(config = default_config) ~id ~peers ~is_token ~parent ~send ~on_granted ~on_upgraded () =
+  (* Freezes are the cache-revocation channel: without them a cached mode
+     could block a conflicting writer forever. *)
+  let config = if config.freezing then config else { config with caching = false } in
+  if is_token && parent <> None then invalid_arg "Hlock.Node.create: token node with a parent";
+  if (not is_token) && parent = None then invalid_arg "Hlock.Node.create: non-token node without parent";
+  if peers < 1 || id < 0 || id >= peers then invalid_arg "Hlock.Node.create: id out of range";
+  {
+    config;
+    id;
+    peers;
+    send;
+    on_granted;
+    on_upgraded;
+    token = is_token;
+    parent;
+    parent_stamp = 0;
+    accounted_parent = None;
+    accounted_epoch = 0;
+    last_reported = None;
+    held = [];
+    cached = Mode_set.empty;
+    children = Hashtbl.create 8;
+    queue = [];
+    pending = None;
+    pending_trail = None;
+    frozen = Mode_set.empty;
+    sent_freeze = Hashtbl.create 8;
+    kick_marks = [];
+    tenure = 0;
+    hint = (0, (if is_token then id else match parent with Some p -> p | None -> id));
+    last_granter = None;
+    ancestry = [];
+    saw_transfer = false;
+    served_ever = false;
+    next_seq = 0;
+    clock = 0;
+    epoch_counter = 0;
+  }
+
+(* {1 Views} *)
+
+let id t = t.id
+let is_token t = t.token
+let parent t = t.parent
+let held t = t.held
+let queue t = t.queue
+let frozen t = t.frozen
+let pending t = t.pending
+
+let accounting t =
+  match t.accounted_parent with None -> None | Some p -> Some (p, t.accounted_epoch)
+
+let children t =
+  Hashtbl.fold (fun c (m, _) acc -> (c, m) :: acc) t.children []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let cached t = Mode_set.to_list t.cached
+
+let owned t =
+  let o = Compat.strongest (List.map snd t.held @ cached t) in
+  Hashtbl.fold (fun _ (m, _) acc -> Compat.max_mode acc (Some m)) t.children o
+
+(* Owned mode as seen when evaluating request [r]: an upgrade request masks
+   the requester's own U contribution (Rule 7). Only one U exists system-wide
+   (U conflicts with U), so masking by mode is unambiguous. *)
+let owned_for t (r : Msg.request) =
+  if not r.upgrade then owned t
+  else begin
+    let held_modes =
+      List.filter_map
+        (fun (seq, m) -> if r.requester = t.id && seq = r.seq then None else Some m)
+        t.held
+    in
+    let o = Compat.strongest (held_modes @ cached t) in
+    Hashtbl.fold
+      (fun c (m, _) acc ->
+        if c = r.requester && Mode.equal m Mode.U then acc else Compat.max_mode acc (Some m))
+      t.children o
+  end
+
+let is_frozen t m = t.config.freezing && Mode_set.mem m t.frozen
+
+(* Drop cached (unheld) modes that conflict with [m]; returns true if any
+   were dropped. A cache is a convenience copy — any conflicting request
+   outranks it. *)
+let revoke_conflicting t m =
+  let doomed = Mode_set.filter (fun x -> not (Compat.compatible x m)) t.cached in
+  if Mode_set.is_empty doomed then false
+  else begin
+    t.cached <- Mode_set.diff t.cached doomed;
+    true
+  end
+
+let pp_owned ppf = function
+  | None -> Format.pp_print_string ppf "_"
+  | Some m -> Mode.pp ppf m
+
+let pp_state ppf t =
+  Format.fprintf ppf "n%d%s parent=%s owned=%a held=[%s] children=[%s] |q|=%d frozen=%a pending=%s"
+    t.id
+    (if t.token then "*" else "")
+    (match t.parent with None -> "_" | Some p -> string_of_int p)
+    pp_owned (owned t)
+    (String.concat ","
+       (List.map (fun (seq, m) -> Printf.sprintf "#%d:%s" seq (Mode.to_string m)) t.held))
+    (String.concat ","
+       (List.map (fun (c, m) -> Printf.sprintf "n%d:%s" c (Mode.to_string m)) (children t)))
+    (List.length t.queue) Mode_set.pp t.frozen
+    (match t.pending with None -> "_" | Some r -> Format.asprintf "%a" Msg.pp_request r)
+
+(* {1 Emission helpers} *)
+
+let emit t dst msg = t.send ~dst msg
+
+let fresh_epoch t =
+  t.epoch_counter <- t.epoch_counter + 1;
+  t.epoch_counter
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let observe_clock t ts = t.clock <- max t.clock ts + 1
+
+let my_hint t = if t.token then (t.tenure, t.id) else t.hint
+
+let observe_hint t h = if fst h > fst (my_hint t) then t.hint <- h
+
+let set_parent t p ~stamp =
+  t.parent <- Some p;
+  t.parent_stamp <- stamp
+
+(* {1 Freezing (Rule 6)} *)
+
+(* Recompute (token node) and propagate the frozen set. A child is notified
+   only of the frozen modes it could actually grant given the mode we record
+   for it; notifications are diffed against what was last sent, so both
+   freezing and un-freezing travel, and only when something changed. *)
+let refresh_freezes t =
+  if t.config.freezing then begin
+    if t.token then
+      t.frozen <-
+        List.fold_left
+          (fun acc (r : Msg.request) -> Mode_set.union acc (Compat.freeze_set ~owned:(owned_for t r) r.mode))
+          Mode_set.empty t.queue;
+    let kids = children t in
+    List.iter
+      (fun (c, cm) ->
+        (* Additive only (the paper: "a mode, once frozen, will not be sent
+           a freeze message again"): no explicit un-freeze traffic. A stale
+           frozen mode merely makes a child forward instead of granting,
+           and clears itself when the child leaves the copyset or changes
+           accounting parent. *)
+        let relevant =
+          (* Anything the child could grant, or could be caching somewhere
+             in its subtree (no stronger than its recorded mode), must be
+             frozen there — freezing both stops grants and revokes
+             caches. *)
+          Mode_set.filter (fun m -> Mode.strength m <= Mode.strength cm) t.frozen
+        in
+        let previous =
+          match Hashtbl.find_opt t.sent_freeze c with None -> Mode_set.empty | Some s -> s
+        in
+        let combined = Mode_set.union relevant previous in
+        if not (Mode_set.equal combined previous) then begin
+          Hashtbl.replace t.sent_freeze c combined;
+          emit t c (Msg.Freeze { frozen = combined })
+        end)
+      kids
+  end
+
+(* {1 Release reporting (Rule 5.2)} *)
+
+(* Send owned-mode changes to the accounting parent: mandatory on weakening
+   (Rule 5.2), on every release under the eager ablation, and on the rare
+   strengthening repair after a grant overtook an in-flight release. *)
+let report_owned t ~force =
+  if not t.token then begin
+    match t.accounted_parent with
+    | None -> ()
+    | Some q ->
+        let o = owned t in
+        let weakened = Compat.strictly_weaker o t.last_reported in
+        let strengthened = Compat.strictly_weaker t.last_reported o in
+        if weakened || strengthened || force then begin
+          t.last_reported <- o;
+          emit t q (Msg.Release { new_owned = o; epoch = t.accounted_epoch });
+          if o = None then begin
+            t.accounted_parent <- None;
+            t.last_reported <- None;
+            (* Detached from the copyset: no freeze duties remain, and no
+               un-freeze would reach us; drop any stale frozen set. *)
+            t.frozen <- Mode_set.empty
+          end
+        end
+  end
+
+(* {1 Grant paths} *)
+
+let clear_pending_if_match t (r : Msg.request) =
+  match t.pending with
+  | Some p when Msg.request_same p r -> t.pending <- None
+  | _ -> ()
+
+(* Grant to a local client: enter the critical section. *)
+let grant_self t (r : Msg.request) =
+  clear_pending_if_match t r;
+  t.held <- (r.seq, r.mode) :: t.held;
+  t.on_granted r
+
+let complete_upgrade t (r : Msg.request) =
+  clear_pending_if_match t r;
+  t.held <-
+    List.map (fun (seq, m) -> if seq = r.seq then (seq, Mode.W) else (seq, m)) t.held;
+  t.on_upgraded r.seq
+
+(* Copy grant (Rule 3): adopt the requester as a child at (at least) the
+   granted mode and notify it. *)
+let grant_copy t (r : Msg.request) =
+  let epoch = fresh_epoch t in
+  (* Fresh grant = fresh freeze relationship: the child (re)sets its frozen
+     state when it adopts us as accounting parent, so anything we believe
+     we already sent must be re-sent. *)
+  Hashtbl.remove t.sent_freeze r.requester;
+  let mode =
+    match Hashtbl.find_opt t.children r.requester with
+    | Some (m, _) -> ( match Compat.max_mode (Some m) (Some r.mode) with Some m -> m | None -> r.mode)
+    | None -> r.mode
+  in
+  Hashtbl.replace t.children r.requester (mode, epoch);
+  let ancestry = if t.token then [] else t.ancestry in
+  emit t r.requester (Msg.Grant { req = { r with Msg.hint = my_hint t }; epoch; ancestry });
+  refresh_freezes t
+
+(* Token transfer (Rule 3.2 operational): hand over the token, our queue and
+   the frozen set; stay in the tree as a child if we still own something. *)
+let transfer_token t (r : Msg.request) =
+  Hashtbl.remove t.children r.requester;
+  Hashtbl.remove t.sent_freeze r.requester;
+  let residual = owned t in
+  let sender_epoch = fresh_epoch t in
+  let tok =
+    let serving = { r with Msg.hint = (t.tenure + 1, r.Msg.requester) } in
+    Msg.Token { serving; sender_owned = residual; sender_epoch; queue = t.queue; frozen = t.frozen }
+  in
+  t.hint <- (t.tenure + 1, r.Msg.requester);
+  (* Point at the queue's future *last* owner (Naimi's tail), not the next
+     one: new requests arriving here must go where the token will be last,
+     or they walk the whole service chain hop by hop. Only U/W entries are
+     certain future owners; fall back to the immediate transfer target. *)
+  let tail =
+    let certain (q : Msg.request) =
+      q.requester <> t.id && (Mode.equal q.mode Mode.U || Mode.equal q.mode Mode.W)
+    in
+    let remote (q : Msg.request) = q.requester <> t.id in
+    match List.rev (List.filter certain t.queue) with
+    | last :: _ -> last.requester
+    | [] -> (
+        (* No certain future owner queued: the last remote requester is the
+           best tail guess — on transfer-dominated locks it will own the
+           token; on copy-dominated ones it will at worst be a child of the
+           new token node (one extra hop). *)
+        match List.rev (List.filter remote t.queue) with
+        | last :: _ -> last.requester
+        | [] -> r.requester)
+  in
+  t.queue <- [];
+  t.token <- false;
+  set_parent t tail ~stamp:(t.tenure + 1);
+  t.accounted_parent <- (if residual = None then None else Some r.requester);
+  t.accounted_epoch <- sender_epoch;
+  t.last_reported <- residual;
+  t.frozen <- Mode_set.empty;
+  emit t r.requester tok;
+  (* Un-freeze our remaining children; the new token node re-freezes as
+     needed once it recomputes from the merged queue. *)
+  refresh_freezes t
+
+let enqueue t (r : Msg.request) =
+  if r.requester = t.id then clear_pending_if_match t r;
+  t.queue <- Msg.insert_by_service_order r t.queue;
+  refresh_freezes t
+
+(* Global diagnostic counters (reset by tests/benches as needed). *)
+let diversions = ref 0
+let sweep_restarts = ref 0
+let relays = ref 0
+
+(* Relay a request one hop toward the token. Normally that hop is our
+   routing parent; if the parent has already seen this request (a transient
+   routing cycle — stale reversal and grant edges can briefly form one),
+   divert: prefer live copyset links (accounting chains end at the token),
+   then the lowest-id unvisited node. The path grows at every hop, so a
+   diverted request sweeps the membership in at most [peers] hops and must
+   reach a node that takes custody — the token holder in the worst case. *)
+let forward_onward ?via t (r : Msg.request) =
+  incr relays;
+  let r =
+    {
+      r with
+      Msg.hops = r.Msg.hops + 1;
+      path = (if List.mem t.id r.Msg.path then r.Msg.path else t.id :: r.Msg.path);
+    }
+  in
+  let r = { r with Msg.hint = (if fst (my_hint t) > fst r.Msg.hint then my_hint t else r.Msg.hint) } in
+  let unvisited p = not (List.mem p r.Msg.path) in
+  let hinted = snd r.Msg.hint in
+  let live_links () =
+    List.filter_map (fun x -> x) [ via; Some hinted; t.accounted_parent; t.last_granter ]
+  in
+  let by_freshness =
+    (* Order candidate hops by how fresh our knowledge of them is: an
+       explicit override first, then the stamped parent edge versus the
+       gossiped token hint, then the copyset links. *)
+    let parentc = match t.parent with Some p -> [ (t.parent_stamp, p) ] | None -> [] in
+    let hintc = [ (fst (my_hint t), snd (my_hint t)) ] in
+    let ranked = List.sort (fun (a, _) (b, _) -> compare b a) (parentc @ hintc) in
+    (match via with Some v -> [ v ] | None -> []) @ List.map snd ranked
+  in
+  let dst =
+    match List.find_opt unvisited by_freshness with
+    | Some p -> Some p
+    | None ->
+        incr diversions;
+        let rec first i =
+          if i >= t.peers then None else if unvisited i then Some i else first (i + 1)
+        in
+        (match List.find_opt unvisited (live_links ()) with Some p -> Some p | None -> first 0)
+  in
+  let dst =
+    match dst with
+    | Some p -> Some p
+    | None ->
+        (* Everyone visited without custody: the token kept moving ahead of
+           the sweep. Restart it; randomized latencies make repeated
+           evasion vanishingly unlikely. *)
+        incr sweep_restarts;
+        Some
+          (match t.parent with
+          | Some p -> p
+          | None -> (t.id + 1) mod t.peers)
+  in
+  match dst with
+  | Some p ->
+      let r = if r.Msg.hops > 0 && List.length r.Msg.path >= t.peers then { r with Msg.path = [ t.id; r.Msg.requester ] } else r in
+      (if Msg.request_same r (match t.pending with Some p -> p | None -> { r with Msg.seq = -1 }) then
+         t.pending_trail <- Some p);
+      emit t p (Msg.Request r)
+  | None -> assert false
+
+
+(* {1 Queue service (Rule 4 operational, Rule 5.1)} *)
+
+(* Strictly FIFO: serve the head while servable, stop at the first head that
+   is not. The frozen set never blocks the head — freezing exists to protect
+   queued requests from newcomers, and a later entry's freeze set may well
+   contain the head's mode. *)
+let rec serve_queue t =
+  match t.queue with
+  | [] -> ()
+  | r :: rest ->
+      if t.token then begin
+        if revoke_conflicting t r.mode then refresh_freezes t;
+        let mo = owned_for t r in
+        if Compat.token_can_grant ~owned:mo r.mode then begin
+          t.queue <- rest;
+          refresh_freezes t;
+          if r.upgrade && r.requester = t.id then complete_upgrade t r
+          else if r.requester = t.id then grant_self t r
+          else if Compat.token_must_transfer ~owned:mo r.mode then transfer_token t r
+          else grant_copy t r;
+          if t.token then serve_queue t
+        end
+        else refresh_freezes t
+      end
+      else begin
+        let mo = owned t in
+        let remote_grant_ok =
+          r.requester = t.id
+          || ((not r.token_only) && not (List.mem r.requester t.ancestry))
+        in
+        if Compat.can_child_grant ~owned:mo r.mode && (not (is_frozen t r.mode)) && remote_grant_ok
+        then begin
+          t.queue <- rest;
+          if r.requester = t.id then grant_self t r else grant_copy t r;
+          serve_queue t
+        end
+        else if t.pending = None then begin
+          (* Nothing further will come through to serve these locally;
+             push the whole queue toward the token (liveness). *)
+          let stranded = t.queue in
+          t.queue <- [];
+          List.iter (fun r -> forward_onward t r) stranded;
+          refresh_freezes t
+        end
+      end
+
+(* Any change to held/children modes may enable queued grants, change freeze
+   sets, and require an upward report. *)
+let after_owned_change t =
+  if t.token then begin
+    refresh_freezes t;
+    serve_queue t
+  end
+  else begin
+    report_owned t ~force:t.config.eager_release;
+    refresh_freezes t;
+    serve_queue t
+  end
+
+(* {1 Request handling (Rules 2, 3, 4)} *)
+
+let handle_request t (r : Msg.request) =
+  (* Any request — including our own — outranks cached convenience copies
+     that conflict with it. *)
+  let revoked = revoke_conflicting t r.mode in
+  if t.token then begin
+    let mo = owned_for t r in
+    if Compat.token_can_grant ~owned:mo r.mode && not (is_frozen t r.mode) then begin
+      if r.upgrade && r.requester = t.id then complete_upgrade t r
+      else if r.requester = t.id then grant_self t r
+      else if Compat.token_must_transfer ~owned:mo r.mode then transfer_token t r
+      else grant_copy t r;
+      if t.token then begin refresh_freezes t; serve_queue t end
+    end
+    else begin
+      enqueue t r;
+      (* The revocation may have unblocked the existing queue head. *)
+      if revoked then serve_queue t
+    end
+  end
+  else if r.requester = t.id then begin
+    (* Rule 2, local request at a non-token node. *)
+    let mo = owned t in
+    match t.pending with
+    | Some p when Msg.request_same p r ->
+        (* Our own pending request was relayed back to us (transient cycle
+           while a token is in flight): keep it moving. *)
+        forward_onward t r
+    | _ ->
+        if Compat.can_child_grant ~owned:mo r.mode && not (is_frozen t r.mode) then
+          (* Message-free local acquisition. *)
+          grant_self t r
+        else begin
+          let r =
+            if Compat.can_child_grant ~owned:mo r.mode && is_frozen t r.mode then
+              { r with Msg.token_only = true }
+            else r
+          in
+          (match t.pending with
+          | None ->
+              t.pending <- Some r;
+              forward_onward t r
+          | Some p ->
+              if Compat.queueable ~pending:(Some p.mode) r.mode then enqueue t r
+              else forward_onward t r);
+          if revoked then begin
+            report_owned t ~force:false;
+            refresh_freezes t
+          end
+        end
+  end
+  else if r.token_only then begin
+    (* Token-bound: relay without granting or absorbing (see Msg.request). *)
+    forward_onward t r;
+    if revoked then begin
+      report_owned t ~force:false;
+      refresh_freezes t
+    end
+  end
+  else begin
+    (* Rule 3.1 / Rule 4.1 at a non-token node. *)
+    let mo = owned t in
+    (if
+       Compat.can_child_grant ~owned:mo r.mode
+       && (not (is_frozen t r.mode))
+       && not (List.mem r.requester t.ancestry)
+     then grant_copy t r
+     else
+      match t.pending with
+      | Some p
+        when Compat.queueable ~pending:(Some p.mode) r.mode
+             && ((not (Mode.equal p.mode r.mode)) || Msg.request_lt p r) ->
+          (* Rule 4.1 / Table 2(a): take custody until our own pending
+             request comes through. Custody edges must not cycle (that
+             would deadlock both requests): cross-mode absorption descends
+             the mode hierarchy strictly, and same-mode absorption is
+             restricted to requests younger than our pending — so every
+             custody chain ends at the token or at a serving node. Higher
+             priorities are never absorbed: holding them hostage behind a
+             lower-priority pending would be a distributed priority
+             inversion; they keep moving toward the token's queue. *)
+          enqueue t r
+      | Some _ ->
+          (* Older same-mode request: it is ahead of us in the global
+             order; send it along the trail our own request took — the
+             liveliest route toward the token we know. *)
+          let target = if fst (my_hint t) >= fst r.Msg.hint then snd (my_hint t) else snd r.Msg.hint in
+          forward_onward ~via:target t r
+      | None ->
+          forward_onward t r;
+          (* Dynamic path reversal (the §2 tree mechanics the protocol is
+             built on), applied to requests certain to end in a token
+             transfer: no owned mode can copy-grant U or W, so their
+             requester is the future root — Naimi's re-pointing invariant.
+             Reversing toward copy-grant requesters too floods the graph
+             with transient cycles and turns most relays into diversion
+             sweeps. Any cycles this still leaves are rendered harmless by
+             path-carrying relays (see forward_onward). *)
+          let stamp = max (fst r.Msg.hint) (fst (my_hint t)) in
+          (match r.mode with
+          | Mode.U | Mode.W -> set_parent t r.Msg.requester ~stamp
+          | Mode.IR | Mode.R | Mode.IW ->
+              if t.config.reverse_all || t.saw_transfer || not t.served_ever then
+                set_parent t r.Msg.requester ~stamp));
+    (* A revoked cache weakened our owned mode: tell the copyset parent so
+       the conflicting request stops waiting on us. *)
+    if revoked then begin
+      report_owned t ~force:false;
+      refresh_freezes t
+    end
+  end
+
+(* {1 Message handlers} *)
+
+let detach_from_old_parent t ~src =
+  match t.accounted_parent with
+  | Some q when q <> src ->
+      emit t q (Msg.Release { new_owned = None; epoch = t.accounted_epoch })
+  | _ -> ()
+
+let handle_grant t ~src (r : Msg.request) ~epoch ~ancestry =
+  observe_clock t r.timestamp;
+  observe_hint t r.hint;
+  t.ancestry <- src :: ancestry;
+  let same_parent = t.accounted_parent = Some src in
+  detach_from_old_parent t ~src;
+  (* A new accounting parent owns our freeze state from now on; stale sets
+     from the old one must not linger (they would never be un-frozen). *)
+  if not same_parent then t.frozen <- Mode_set.empty;
+  t.accounted_parent <- Some src;
+  t.accounted_epoch <- epoch;
+  t.last_granter <- Some src;
+  t.saw_transfer <- false;
+  t.served_ever <- true;
+  (* Deliberate departure from Figure 4's "Parent <- Sender": a copy grant
+     updates only the copyset (accounting) relation, never the routing
+     parent. Grant edges point backward toward old roots; mixed with path
+     reversal they can close a routing cycle that traps the grantee's own
+     next U/W request in an eternal two-node relay (see DESIGN.md §2 for
+     the counterexample). Routing pointers move only on U/W reversal and
+     token transfer — Naimi's proven discipline. *)
+  t.last_reported <-
+    (if same_parent then Compat.max_mode t.last_reported (Some r.mode) else Some r.mode);
+  grant_self t r;
+  (* Repair: if we owned more than the granter could know (a release crossed
+     the grant), push a strengthening update so the record covers us. *)
+  report_owned t ~force:false;
+  refresh_freezes t;
+  serve_queue t
+
+let handle_token t ~src (m : Msg.t) =
+  match m with
+  | Msg.Token { serving; sender_owned; sender_epoch; queue; frozen } ->
+      observe_clock t serving.timestamp;
+      detach_from_old_parent t ~src;
+      t.accounted_parent <- None;
+      t.last_reported <- None;
+      t.token <- true;
+      t.parent <- None;
+      t.ancestry <- [];
+      t.saw_transfer <- true;
+      t.served_ever <- true;
+      t.last_granter <- Some src;
+      t.tenure <- max (fst serving.Msg.hint) (fst t.hint + 1);
+      (match sender_owned with
+      | Some m -> Hashtbl.replace t.children src (m, sender_epoch)
+      | None -> Hashtbl.remove t.children src);
+      t.queue <- Msg.merge_queues queue t.queue;
+      t.frozen <- frozen;
+      grant_self t serving;
+      refresh_freezes t;
+      serve_queue t
+  | _ -> assert false
+
+let handle_release t ~src ~new_owned ~epoch =
+  match Hashtbl.find_opt t.children src with
+  | Some (_, e) when e = epoch -> (
+      (match new_owned with
+      | None ->
+          Hashtbl.remove t.children src;
+          Hashtbl.remove t.sent_freeze src
+      | Some m -> Hashtbl.replace t.children src (m, e));
+      after_owned_change t)
+  | Some _ | None -> ()  (* stale epoch or unknown child: superseded *)
+
+let handle_freeze t ~src ~frozen =
+  if t.config.freezing && not t.token then begin
+    (* Cache revocation honours any freeze — even one that crossed a detach
+       in flight: dropping a convenience copy is always safe and keeps
+       writers from waiting on phantom records. *)
+    let dropped = not (Mode_set.is_empty (Mode_set.inter t.cached frozen)) in
+    t.cached <- Mode_set.diff t.cached frozen;
+    (* The granting restriction, however, follows the live copyset: only
+       the current accounting parent may extend our frozen set. *)
+    if t.accounted_parent = Some src then begin
+      t.frozen <- Mode_set.union t.frozen frozen;
+      refresh_freezes t
+    end;
+    if dropped then after_owned_change t else serve_queue t
+  end
+
+let handle_msg t ~src msg =
+  match msg with
+  | Msg.Request r ->
+      observe_clock t r.timestamp;
+      observe_hint t r.hint;
+      handle_request t r
+  | Msg.Grant { req; epoch; ancestry } -> handle_grant t ~src req ~epoch ~ancestry
+  | Msg.Token _ -> handle_token t ~src msg
+  | Msg.Release { new_owned; epoch } -> handle_release t ~src ~new_owned ~epoch
+  | Msg.Freeze { frozen } -> handle_freeze t ~src ~frozen
+
+(* {1 Client API} *)
+
+let request ?(priority = 0) t ~mode =
+  if priority < 0 then invalid_arg "Hlock.Node.request: negative priority";
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  let r =
+    { Msg.requester = t.id; seq; mode; upgrade = false; timestamp = tick t; priority;
+      hops = 0; token_only = false; hint = my_hint t; path = [ t.id ] }
+  in
+  handle_request t r;
+  seq
+
+let release t ~seq =
+  match List.assoc_opt seq t.held with
+  | None -> invalid_arg (Printf.sprintf "Hlock.Node.release: #%d not held at node %d" seq t.id)
+  | Some m ->
+      t.held <- List.filter (fun (s, _) -> s <> seq) t.held;
+      if t.config.caching && not (is_frozen t m) then t.cached <- Mode_set.add m t.cached;
+      after_owned_change t
+
+let upgrade t ~seq =
+  match List.assoc_opt seq t.held with
+  | Some Mode.U ->
+      if not t.token then
+        invalid_arg "Hlock.Node.upgrade: protocol invariant violated (U holder must be the token node)";
+      let r =
+        {
+          Msg.requester = t.id;
+          seq;
+          mode = Mode.W;
+          upgrade = true;
+          timestamp = tick t;
+          priority = 0;
+          hops = 0;
+          token_only = false;
+          hint = my_hint t;
+          path = [ t.id ];
+        }
+      in
+      ignore (revoke_conflicting t Mode.W);
+      let mo = owned_for t r in
+      if Compat.token_can_grant ~owned:mo Mode.W then begin
+        complete_upgrade t r;
+        refresh_freezes t;
+        serve_queue t
+      end
+      else
+        (* Rule 7: the upgrade outranks every queued request — holding U is
+           a reservation for the next write. The service order places
+           upgrades ahead of everything, so it is served as soon as the
+           remaining readers drain; everything else freezes meanwhile. *)
+        enqueue t r
+  | Some m ->
+      invalid_arg
+        (Printf.sprintf "Hlock.Node.upgrade: #%d held in %s, not U" seq (Mode.to_string m))
+  | None -> invalid_arg (Printf.sprintf "Hlock.Node.upgrade: #%d not held" seq)
+
+(* Watchdog against custody stalls: crossing requests can leave two pending
+   nodes holding each other's requests (a mutual-absorption cycle the
+   paper's Table 2(a) does not address). Re-circulating absorbed remote
+   requests lets them reach the token node — which always takes custody and
+   serves strictly by its queue — so any cycle unwinds. Drivers call this
+   periodically on nodes that look stalled; it is a no-op otherwise. *)
+let kick t =
+  if (not t.token) && t.pending <> None then begin
+    (* Two-phase: only re-circulate requests that were already in custody at
+       the previous kick — anything younger has waited less than one kick
+       period and is almost certainly fine. *)
+    let marked (r : Msg.request) = List.mem (r.requester, r.seq) t.kick_marks in
+    let stale, keep =
+      List.partition (fun (r : Msg.request) -> r.requester <> t.id && marked r) t.queue
+    in
+    if stale <> [] then begin
+      t.queue <- keep;
+      List.iter (fun r -> forward_onward t r) stale;
+      refresh_freezes t
+    end;
+    t.kick_marks <-
+      List.filter_map
+        (fun (r : Msg.request) -> if r.requester <> t.id then Some (r.requester, r.seq) else None)
+        t.queue
+  end
+  else t.kick_marks <- []

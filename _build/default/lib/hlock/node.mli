@@ -1,0 +1,177 @@
+(** Per-node protocol engine for one hierarchical lock object.
+
+    This is the paper's contribution (Rules 1–7 and the Figure-4
+    pseudocode), written as a transport-agnostic state machine: the node
+    never performs I/O itself; it calls the [send] callback to emit
+    messages and [on_granted] / [on_upgraded] to wake local clients. The
+    same engine therefore runs unchanged on the discrete-event simulator
+    ({!Dcs_runtime}) and on the real TCP transport ({!Dcs_netkit}).
+
+    {2 State model}
+
+    Each node keeps: a [parent] pointer (routing tree, rooted at the token
+    node), the [children] copyset (child → that child's owned mode), the
+    multiset of locally [held] modes, a FIFO local [queue] of requests it
+    could not serve, at most one [pending] request sent to its parent, and
+    the current [frozen] mode set. The {e owned} mode (Definition 3) is the
+    strongest of held and children modes and is recomputed on demand.
+
+    {2 Interpretations of under-specified corners} (full catalogue with
+    rationale in DESIGN.md §2)
+
+    - Client releases keep the granted mode {e cached} in the copyset
+      (Li/Hudak semantics): re-acquisition is message-free until a freeze
+      or a conflicting request revokes the copy.
+    - Routing and accounting are separate parent relations: releases and
+      freezes follow the {e accounting} parent (who granted us, guarded by
+      epochs against messages crossing in flight); request routing follows
+      pointers moved by transfers (to the queue tail), adaptive Naimi path
+      reversal, and grant edges — and is allowed to be transiently cyclic,
+      because every relayed request carries its visited path and diverts
+      around nodes it has already seen (a sweep must reach the token).
+    - Custody (Table 2a queueing at pending nodes) is acyclic by
+      construction: cross-mode absorption descends the mode hierarchy and
+      same-mode absorption only takes Lamport-younger requests; the
+      {!kick} watchdog re-circulates custody as a belt-and-braces measure.
+    - Upgrades (Rule 7) always execute at the token node (no owned mode
+      can child-grant [U], so [U] is always served by transfer) and
+      outrank every queued request.
+    - Requests carry priorities: queues serve by descending priority, FIFO
+      within a level — exact at the token node, inverted by at most the
+      custodian's own wait inside custody chains. *)
+
+open Dcs_modes
+open Dcs_proto
+
+(** Ablation switches; the paper's protocol is {!default_config}. *)
+type config = {
+  eager_release : bool;
+      (** When true, send a release message upward on {e every} local or
+          child release even if the owned mode did not weaken — the "more
+          eager variant" the paper compares against conceptually (§3.2).
+          Default false (Rule 5.2: only on weakening). *)
+  freezing : bool;
+      (** When false, Rule 6 is disabled: no freeze bookkeeping or
+          messages, so compatible newcomers may starve queued requests;
+          caching is forcibly disabled too, because freezes are the
+          cache-revocation channel. Default true. *)
+  reverse_all : bool;
+      (** Routing ablation: when true, relayers re-point to the requester
+          for every mode (full Naimi reversal); when false (default) only
+          for [U]/[W] requests, whose requesters are certain future token
+          owners. *)
+  grant_edges : bool;
+      (** Routing ablation: when true (default), a copy grant re-points the
+          grantee's routing parent at the granter (Figure 4's
+          "Parent <- Sender"). *)
+  caching : bool;
+      (** When true (default), a client release keeps the granted mode in
+          the copyset as a {e cached} copy (the Li/Hudak copyset semantics
+          the paper generalizes): re-acquisition is message-free (Rule 2)
+          until the copy is revoked by a freeze or by a conflicting request
+          passing through. When false, every release relinquishes the mode
+          immediately. *)
+}
+
+val default_config : config
+
+type t
+
+(** [create ~config ~id ~peers ~is_token ~parent ~send ~on_granted
+    ~on_upgraded ()] makes a node engine for a population of [peers] nodes
+    with ids [0..peers-1]. Exactly one node of a lock-object's population must
+    have [is_token = true] (and [parent = None]); every other node needs
+    [parent] pointing (directly or transitively) toward it. [send dst msg]
+    must deliver [msg] to node [dst]'s {!handle_msg} (reliably, in any
+    order). [on_granted r] fires when local request [r] is granted;
+    [on_upgraded seq] when a local U→W upgrade completes. *)
+val create :
+  ?config:config ->
+  id:Node_id.t ->
+  peers:int ->
+  is_token:bool ->
+  parent:Node_id.t option ->
+  send:(dst:Node_id.t -> Msg.t -> unit) ->
+  on_granted:(Msg.request -> unit) ->
+  on_upgraded:(int -> unit) ->
+  unit ->
+  t
+
+(** {1 Client operations} *)
+
+(** [request t ~mode] issues a local lock request; returns its [seq]
+    (unique per node). The grant arrives via [on_granted] — possibly
+    synchronously, inside this call, when Rule 2 allows a message-free
+    local acquisition. [priority] (default 0, non-negative) orders queue
+    service: higher priorities are served first, FIFO within a level —
+    the prioritized-token extension of the authors' earlier work
+    [Mueller 98, 99] that the paper's FIFO model subsumes. *)
+val request : ?priority:int -> t -> mode:Mode.t -> int
+
+(** [release t ~seq] releases the held instance granted for [seq].
+    Raises [Invalid_argument] if [seq] is not currently held. *)
+val release : t -> seq:int -> unit
+
+(** [upgrade t ~seq] upgrades a held [U] instance to [W] (Rule 7).
+    Completion is signalled via [on_upgraded seq] (possibly synchronously).
+    Raises [Invalid_argument] if [seq] is not held in mode [U].
+
+    Per the protocol, the [U] holder is necessarily the token node; the
+    upgrade never releases [U] and is served as soon as every other held
+    mode is released. *)
+val upgrade : t -> seq:int -> unit
+
+(** [kick t] re-circulates absorbed remote requests when this node is
+    still waiting for its own pending request — the watchdog that unwinds
+    mutual-custody cycles (two pending nodes holding each other's requests
+    after a message crossing). Call it periodically (order of a few network
+    round trips); it is cheap and a no-op when the node is not in the
+    vulnerable state. *)
+val kick : t -> unit
+
+(** {1 Transport hook} *)
+
+(** Deliver one protocol message from node [src]. *)
+val handle_msg : t -> src:Node_id.t -> Msg.t -> unit
+
+(** {1 Introspection (tests, invariant checkers, tracing)} *)
+
+val id : t -> Node_id.t
+val is_token : t -> bool
+val parent : t -> Node_id.t option
+
+(** Strongest of held and children modes (Definition 3); [None] = ⊥. *)
+val owned : t -> Mode.t option
+
+(** Locally held instances as [(seq, mode)]. *)
+val held : t -> (int * Mode.t) list
+
+(** Copyset: children and their recorded owned modes. *)
+val children : t -> (Node_id.t * Mode.t) list
+
+(** Cached (granted but unheld) modes retained for message-free
+    re-acquisition; see [config.caching]. *)
+val cached : t -> Mode.t list
+
+(** The node currently accounting us in its copyset, with the epoch of the
+    relationship; [None] when we own ⊥ or hold the token. *)
+val accounting : t -> (Node_id.t * int) option
+
+(** Local FIFO queue of unserved requests. *)
+val queue : t -> Msg.request list
+
+val frozen : t -> Mode_set.t
+val pending : t -> Msg.request option
+
+(** One-line state summary for traces. *)
+val pp_state : Format.formatter -> t -> unit
+
+(** {1 Global diagnostic counters}
+
+    Process-wide tallies of routing behaviour, for experiments and tests:
+    total request relays, relays that had to divert around an
+    already-visited hop, and full sweep restarts. *)
+
+val relays : int ref
+val diversions : int ref
+val sweep_restarts : int ref

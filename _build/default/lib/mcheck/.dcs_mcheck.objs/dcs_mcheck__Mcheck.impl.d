@@ -1,0 +1,1 @@
+lib/mcheck/mcheck.ml: Array Buffer Compat Dcs_hlock Dcs_modes Digest Format Hashtbl List Mode Printf Queue String

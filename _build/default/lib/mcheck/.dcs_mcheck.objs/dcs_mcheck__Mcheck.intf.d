@@ -1,0 +1,1 @@
+lib/mcheck/mcheck.mli: Dcs_hlock Dcs_modes Format

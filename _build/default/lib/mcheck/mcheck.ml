@@ -1,0 +1,207 @@
+open Dcs_modes
+module Node = Dcs_hlock.Node
+module Msg = Dcs_hlock.Msg
+
+type action =
+  | Acquire of { node : int; mode : Mode.t }
+  | Acquire_upgrade of { node : int }
+
+type result = {
+  states : int;
+  terminals : int;
+  truncated : bool;
+  violations : string list;
+}
+
+(* One replayed execution: the scripted actions are injected up front, then
+   the messages are delivered according to [path] (a list of directed links;
+   each step delivers the head of that link's FIFO — the transport
+   contract). *)
+type run = {
+  mutable nodes_arr : Node.t array;
+  wire : ((int * int) * Msg.t Queue.t) list ref;  (* per-link FIFO *)
+  mutable granted : int;
+  mutable upgraded : int;
+  mutable outstanding : int;  (* requests not yet fully finished *)
+  mutable tokens_in_flight : int;
+}
+
+let link run src dst =
+  match List.assoc_opt (src, dst) !(run.wire) with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      run.wire := ((src, dst), q) :: !(run.wire);
+      q
+
+let replay ?config ~nodes ~actions path =
+  let run =
+    { nodes_arr = [||]; wire = ref []; granted = 0; upgraded = 0; outstanding = 0;
+      tokens_in_flight = 0 }
+  in
+  (* Plan lookup: what the client at [node] does with grant [seq]. *)
+  let plans : (int * int, [ `Release | `Upgrade ]) Hashtbl.t = Hashtbl.create 8 in
+  let arr =
+    Array.init nodes (fun id ->
+        let send ~dst msg =
+          (match msg with Msg.Token _ -> run.tokens_in_flight <- run.tokens_in_flight + 1 | _ -> ());
+          Queue.push msg (link run id dst)
+        in
+        let rec node () = run.nodes_arr.(id)
+        and on_granted (r : Msg.request) =
+          run.granted <- run.granted + 1;
+          match Hashtbl.find_opt plans (id, r.seq) with
+          | Some `Release ->
+              run.outstanding <- run.outstanding - 1;
+              Node.release (node ()) ~seq:r.seq
+          | Some `Upgrade -> Node.upgrade (node ()) ~seq:r.seq
+          | None -> ()
+        and on_upgraded seq =
+          run.upgraded <- run.upgraded + 1;
+          run.outstanding <- run.outstanding - 1;
+          Node.release (node ()) ~seq
+        in
+        Node.create ?config ~id ~peers:nodes ~is_token:(id = 0)
+          ~parent:(if id = 0 then None else Some 0)
+          ~send ~on_granted ~on_upgraded ())
+  in
+  run.nodes_arr <- arr;
+  (* Inject the script. A request may be granted synchronously inside
+     [Node.request], before the seq is returned, so the client plan is
+     registered in advance under the predicted seq (they are assigned
+     densely per node). *)
+  List.iter
+    (fun action ->
+      run.outstanding <- run.outstanding + 1;
+      match action with
+      | Acquire { node; mode } ->
+          (* Predict the seq: the engine numbers requests 0,1,2,... per
+             node; track how many this node has issued so far. *)
+          let issued = Hashtbl.fold (fun (n, _) _ acc -> if n = node then acc + 1 else acc) plans 0 in
+          Hashtbl.replace plans (node, issued) `Release;
+          let seq = Node.request arr.(node) ~mode in
+          assert (seq = issued)
+      | Acquire_upgrade { node } ->
+          let issued = Hashtbl.fold (fun (n, _) _ acc -> if n = node then acc + 1 else acc) plans 0 in
+          Hashtbl.replace plans (node, issued) `Upgrade;
+          let seq = Node.request arr.(node) ~mode:Mode.U in
+          assert (seq = issued))
+    actions;
+  (* Deliver per path. *)
+  List.iter
+    (fun (src, dst) ->
+      let q = link run src dst in
+      if Queue.is_empty q then failwith "mcheck: path delivers from an empty link"
+      else begin
+        let msg = Queue.pop q in
+        (match msg with Msg.Token _ -> run.tokens_in_flight <- run.tokens_in_flight - 1 | _ -> ());
+        Node.handle_msg arr.(dst) ~src msg
+      end)
+    path;
+  run
+
+let nonempty_links run =
+  List.filter_map
+    (fun ((src, dst), q) -> if Queue.is_empty q then None else Some (src, dst))
+    !(run.wire)
+  |> List.sort compare
+
+let digest run =
+  let b = Buffer.create 512 in
+  Array.iter
+    (fun e ->
+      Buffer.add_string b (Format.asprintf "%a" Node.pp_state e);
+      Buffer.add_string b
+        (String.concat "," (List.map Mode.to_string (Node.cached e)));
+      (match Node.accounting e with
+      | Some (p, ep) -> Buffer.add_string b (Printf.sprintf "acct%d.%d" p ep)
+      | None -> Buffer.add_string b "acct_");
+      Buffer.add_char b '|')
+    run.nodes_arr;
+  List.iter
+    (fun ((src, dst), q) ->
+      Buffer.add_string b (Printf.sprintf "[%d>%d:" src dst);
+      Queue.iter (fun m -> Buffer.add_string b (Format.asprintf "%a;" Msg.pp m)) q;
+      Buffer.add_char b ']')
+    (List.sort compare !(run.wire));
+  Digest.string (Buffer.contents b)
+
+let safety_violations run =
+  let out = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  let retained =
+    Array.to_list run.nodes_arr
+    |> List.concat_map (fun e ->
+           List.map (fun (_, m) -> (Node.id e, m)) (Node.held e)
+           @ List.map (fun m -> (Node.id e, m)) (Node.cached e))
+  in
+  let rec pairs = function
+    | [] -> ()
+    | (n1, m1) :: rest ->
+        List.iter
+          (fun (n2, m2) ->
+            if not (Compat.compatible m1 m2) then
+              add "incompatible retained: n%d:%s vs n%d:%s" n1 (Mode.to_string m1) n2
+                (Mode.to_string m2))
+          rest;
+        pairs rest
+  in
+  pairs retained;
+  let holders = Array.to_list run.nodes_arr |> List.filter Node.is_token |> List.length in
+  if holders + run.tokens_in_flight <> 1 then
+    add "token multiplicity %d" (holders + run.tokens_in_flight);
+  !out
+
+let explore ?config ?(max_states = 100_000) ~nodes ~actions () =
+  let seen = Hashtbl.create 4096 in
+  let violations = ref [] in
+  let terminals = ref 0 in
+  let states = ref 0 in
+  let truncated = ref false in
+  let queue = Queue.create () in
+  Queue.push [] queue;
+  let expected_grants =
+    List.length actions
+  and expected_upgrades =
+    List.length (List.filter (function Acquire_upgrade _ -> true | _ -> false) actions)
+  in
+  while (not (Queue.is_empty queue)) && not !truncated do
+    let path = Queue.pop queue in
+    let run = replay ?config ~nodes ~actions (List.rev path) in
+    let d = digest run in
+    if not (Hashtbl.mem seen d) then begin
+      Hashtbl.replace seen d ();
+      incr states;
+      if !states >= max_states then truncated := true;
+      (match safety_violations run with
+      | [] -> ()
+      | vs ->
+          if List.length !violations < 5 then
+            violations := (String.concat "; " vs) :: !violations);
+      match nonempty_links run with
+      | [] ->
+          incr terminals;
+          if run.granted < expected_grants then
+            violations :=
+              Printf.sprintf "terminal state with %d/%d grants (liveness)" run.granted
+                expected_grants
+              :: !violations;
+          if run.upgraded < expected_upgrades then
+            violations :=
+              Printf.sprintf "terminal state with %d/%d upgrades" run.upgraded expected_upgrades
+              :: !violations;
+          if run.outstanding > 0 then
+            violations :=
+              Printf.sprintf "terminal state with %d unfinished clients" run.outstanding
+              :: !violations
+      | links -> List.iter (fun l -> Queue.push (l :: path) queue) links
+    end
+  done;
+  { states = !states; terminals = !terminals; truncated = !truncated; violations = !violations }
+
+let pp_result ppf r =
+  Format.fprintf ppf "states=%d terminals=%d%s %s" r.states r.terminals
+    (if r.truncated then " (truncated)" else "")
+    (match r.violations with
+    | [] -> "no violations"
+    | vs -> "VIOLATIONS: " ^ String.concat " / " vs)

@@ -1,0 +1,1 @@
+lib/modes/compat.ml: Array Buffer List Mode Mode_set Option Printf String

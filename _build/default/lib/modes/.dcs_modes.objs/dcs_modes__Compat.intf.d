@@ -1,0 +1,1 @@
+lib/modes/compat.mli: Mode Mode_set

@@ -1,0 +1,1 @@
+lib/modes/mode.ml: Format Printf Stdlib String

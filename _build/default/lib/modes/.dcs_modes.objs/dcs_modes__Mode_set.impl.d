@@ -1,0 +1,1 @@
+lib/modes/mode_set.ml: Format List Mode String

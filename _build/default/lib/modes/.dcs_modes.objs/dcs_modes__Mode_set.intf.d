@@ -1,0 +1,1 @@
+lib/modes/mode_set.mli: Format Mode

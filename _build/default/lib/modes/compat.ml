@@ -1,0 +1,100 @@
+(* One row per mode, in Mode.index order IR R U IW W; true = compatible.
+   This is the OMG Concurrency Service matrix (paper Table 1a, Rule 1). *)
+let matrix =
+  [| (* IR *) [| true; true; true; true; false |]
+   ; (* R  *) [| true; true; true; false; false |]
+   ; (* U  *) [| true; true; false; false; false |]
+   ; (* IW *) [| true; false; false; true; false |]
+   ; (* W  *) [| false; false; false; false; false |]
+  |]
+
+let compatible (m1 : Mode.t) (m2 : Mode.t) = matrix.(Mode.index m1).(Mode.index m2)
+
+let compatible_owned mo mr =
+  match mo with
+  | None -> true
+  | Some m -> compatible m mr
+
+let compatible_set m = Mode_set.of_list (List.filter (compatible m) Mode.all)
+
+let strength = function
+  | None -> 0
+  | Some m -> Mode.strength m
+
+let stronger_eq a b = strength a >= strength b
+
+let strictly_weaker a b = strength a < strength b
+
+let max_mode a b = if stronger_eq a b then a else b
+
+let strongest held = List.fold_left (fun acc m -> max_mode acc (Some m)) None held
+
+let can_child_grant ~owned m = compatible_owned owned m && stronger_eq owned (Some m)
+
+let token_can_grant ~owned m = compatible_owned owned m
+
+let token_must_transfer ~owned m =
+  token_can_grant ~owned m && strictly_weaker owned (Some m)
+
+let queueable ~pending m =
+  match pending with
+  | None -> false
+  | Some Mode.W -> true
+  | Some Mode.U -> ( match m with Mode.IR | Mode.R | Mode.U -> true | Mode.IW | Mode.W -> false)
+  | Some _ -> can_child_grant ~owned:pending m
+
+let freeze_set ~owned m =
+  let frozen x = compatible_owned owned x && not (compatible x m) in
+  Mode_set.of_list (List.filter frozen Mode.all)
+
+let compatible_with_all held m = List.for_all (fun h -> compatible h m) held
+
+(* Rendering of the four decision tables; rows are the "first" mode of each
+   table (held/owned/pending), columns the incoming request mode. *)
+
+let owned_rows = None :: List.map Option.some Mode.all
+
+let pp_owned = function
+  | None -> "_"
+  | Some m -> Mode.to_string m
+
+let render_grid ?(width = 4) ~title ~rows ~row_label ~cell () =
+  let b = Buffer.create 256 in
+  let pad s = Printf.sprintf "%-*s" width s in
+  Buffer.add_string b title;
+  Buffer.add_char b '\n';
+  let header = "     | " ^ String.concat " " (List.map (fun m -> pad (Mode.to_string m)) Mode.all) in
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (String.make (String.length header) '-');
+  Buffer.add_char b '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string b (Printf.sprintf "%-4s | " (row_label row));
+      List.iter (fun m -> Buffer.add_string b (pad (cell row m) ^ " ")) Mode.all;
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.contents b
+
+let render_table = function
+  | `Compat ->
+      render_grid ~title:"Table 1(a): compatibility (X = conflict)" ~rows:Mode.all
+        ~row_label:Mode.to_string ~cell:(fun r c -> if compatible r c then "." else "X") ()
+  | `Child_grant ->
+      render_grid ~title:"Table 1(b): non-token grant legality (X = cannot grant)"
+        ~rows:owned_rows ~row_label:pp_owned ~cell:(fun r c ->
+          if can_child_grant ~owned:r c then "." else "X") ()
+  | `Queue_forward ->
+      render_grid ~title:"Table 2(a): queue (Q) or forward (F) at a pending non-token node"
+        ~rows:owned_rows ~row_label:pp_owned ~cell:(fun r c ->
+          if queueable ~pending:r c then "Q" else "F") ()
+  | `Freeze ->
+      render_grid ~width:11
+        ~title:"Table 2(b): modes frozen at the token node (rows: owned; cols: queued request)"
+        ~rows:owned_rows ~row_label:pp_owned ~cell:(fun r c ->
+          if token_can_grant ~owned:r c then "-"
+          else
+            let s = freeze_set ~owned:r c in
+            if Mode_set.is_empty s then "{}"
+            else String.concat "," (List.map Mode.to_string (Mode_set.to_list s)))
+        ()

@@ -1,0 +1,54 @@
+type t =
+  | IR
+  | R
+  | U
+  | IW
+  | W
+
+let all = [ IR; R; U; IW; W ]
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let strength = function
+  | IR -> 1
+  | R -> 2
+  | U -> 3
+  | IW -> 3
+  | W -> 4
+
+let stronger_eq a b = strength a >= strength b
+
+let to_string = function
+  | IR -> "IR"
+  | R -> "R"
+  | U -> "U"
+  | IW -> "IW"
+  | W -> "W"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "IR" -> Some IR
+  | "R" -> Some R
+  | "U" -> Some U
+  | "IW" -> Some IW
+  | "W" -> Some W
+  | _ -> None
+
+let pp ppf m = Format.pp_print_string ppf (to_string m)
+
+let index = function
+  | IR -> 0
+  | R -> 1
+  | U -> 2
+  | IW -> 3
+  | W -> 4
+
+let of_index = function
+  | 0 -> IR
+  | 1 -> R
+  | 2 -> U
+  | 3 -> IW
+  | 4 -> W
+  | i -> invalid_arg (Printf.sprintf "Mode.of_index: %d" i)

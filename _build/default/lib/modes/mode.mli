@@ -1,0 +1,56 @@
+(** Lock modes of the CORBA Concurrency Service hierarchical locking model.
+
+    The five modes, from weakest to strongest (paper §3.1, inequality (1)):
+    {ul
+    {- [IR] — intention read: announces reads at a finer granularity below.}
+    {- [R] — read: shared read access.}
+    {- [U] — upgrade: an exclusive read that will later be upgraded to [W];
+       conflicts with other [U] holders to preclude upgrade deadlocks.}
+    {- [IW] — intention write: announces writes at a finer granularity.}
+    {- [W] — write: fully exclusive access.}}
+
+    Strength is a total preorder: [IR < R < U = IW < W]. The absent mode
+    (the paper's ⊥) is represented by [t option]'s [None] throughout this
+    library. *)
+
+type t =
+  | IR  (** intention read *)
+  | R   (** read *)
+  | U   (** upgrade (exclusive read, upgradeable to [W]) *)
+  | IW  (** intention write *)
+  | W   (** write *)
+
+(** All five modes, in increasing strength order (with [U] before [IW]). *)
+val all : t list
+
+(** Structural equality. *)
+val equal : t -> t -> bool
+
+(** Total order used for deterministic iteration (not mode strength);
+    coincides with the declaration order [IR < R < U < IW < W]. *)
+val compare : t -> t -> int
+
+(** Strength rank per inequality (1) of the paper: [IR]→1, [R]→2,
+    [U]→3, [IW]→3, [W]→4. The absent mode ⊥ has rank 0 (see
+    {!Compat.strength}). *)
+val strength : t -> int
+
+(** [stronger_eq a b] is [strength a >= strength b]. Note [U] and [IW]
+    are mutually [stronger_eq]. *)
+val stronger_eq : t -> t -> bool
+
+(** Canonical short name: ["IR"], ["R"], ["U"], ["IW"], ["W"]. *)
+val to_string : t -> string
+
+(** Inverse of {!to_string} (case-insensitive). *)
+val of_string : string -> t option
+
+(** Formatter printing the canonical short name. *)
+val pp : Format.formatter -> t -> unit
+
+(** Small dense index in [0..4], following [all]'s order. Useful for
+    table-driven lookups and bitsets. *)
+val index : t -> int
+
+(** Inverse of {!index}; raises [Invalid_argument] outside [0..4]. *)
+val of_index : int -> t

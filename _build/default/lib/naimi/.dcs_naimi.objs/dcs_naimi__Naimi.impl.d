@@ -1,0 +1,1 @@
+lib/naimi/naimi.ml: Dcs_proto Format Msg_class Node_id

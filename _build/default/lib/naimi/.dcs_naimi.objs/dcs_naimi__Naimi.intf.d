@@ -1,0 +1,1 @@
+lib/naimi/naimi.mli: Dcs_proto Format Msg_class Node_id

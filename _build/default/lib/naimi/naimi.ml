@@ -1,0 +1,93 @@
+open Dcs_proto
+
+type msg =
+  | Request of { requester : Node_id.t }
+  | Token
+
+let class_of = function
+  | Request _ -> Msg_class.Request
+  | Token -> Msg_class.Token_transfer
+
+let pp_msg ppf = function
+  | Request { requester } -> Format.fprintf ppf "Request n%d" requester
+  | Token -> Format.pp_print_string ppf "Token"
+
+type t = {
+  id : Node_id.t;
+  send : dst:Node_id.t -> msg -> unit;
+  on_acquired : unit -> unit;
+  mutable father : Node_id.t option;
+  mutable next : Node_id.t option;
+  mutable token_present : bool;
+  mutable requesting : bool;
+  mutable in_cs : bool;
+}
+
+let create ~id ~is_root ~father ~send ~on_acquired () =
+  if is_root && father <> None then invalid_arg "Naimi.create: root with a father";
+  if (not is_root) && father = None then invalid_arg "Naimi.create: non-root without father";
+  { id; send; on_acquired; father; next = None; token_present = is_root; requesting = false; in_cs = false }
+
+let id t = t.id
+let has_token t = t.token_present
+let in_cs t = t.in_cs
+let requesting t = t.requesting
+let father t = t.father
+let next t = t.next
+
+let pp_state ppf t =
+  Format.fprintf ppf "n%d%s father=%s next=%s%s%s" t.id
+    (if t.token_present then "*" else "")
+    (match t.father with None -> "_" | Some f -> string_of_int f)
+    (match t.next with None -> "_" | Some n -> string_of_int n)
+    (if t.requesting then " requesting" else "")
+    (if t.in_cs then " in-cs" else "")
+
+let request t =
+  if t.requesting || t.in_cs then invalid_arg "Naimi.request: already requesting or in CS";
+  t.requesting <- true;
+  match t.father with
+  | None ->
+      (* We are the root holding an idle token: enter immediately. *)
+      assert t.token_present;
+      t.in_cs <- true;
+      t.on_acquired ()
+  | Some f ->
+      t.send ~dst:f (Request { requester = t.id });
+      t.father <- None
+
+let release t =
+  if not t.in_cs then invalid_arg "Naimi.release: not in CS";
+  t.in_cs <- false;
+  t.requesting <- false;
+  match t.next with
+  | Some n ->
+      t.token_present <- false;
+      t.next <- None;
+      t.send ~dst:n Token
+  | None -> ()
+
+let handle_msg t ~src:_ msg =
+  match msg with
+  | Token ->
+      assert t.requesting;
+      t.token_present <- true;
+      t.in_cs <- true;
+      t.on_acquired ()
+  | Request { requester } -> (
+      match t.father with
+      | Some f ->
+          t.send ~dst:f (Request { requester });
+          t.father <- Some requester
+      | None ->
+          if t.requesting || t.in_cs then begin
+            (* We are the queue tail: the requester follows us. *)
+            assert (t.next = None);
+            t.next <- Some requester
+          end
+          else begin
+            assert t.token_present;
+            t.token_present <- false;
+            t.send ~dst:requester Token
+          end;
+          t.father <- Some requester)

@@ -1,0 +1,75 @@
+(** The Naimi–Trehel–Arnold token-based mutual-exclusion protocol [14]
+    (J. Parallel Distrib. Comput. 34(1), 1996) — the baseline the paper
+    compares against.
+
+    Exclusive, single-mode locking over a dynamic logical tree:
+
+    - each node keeps a probable-owner pointer ([father]) and a [next]
+      pointer forming a distributed FIFO queue of waiting requesters;
+    - a request travels the [father] chain to the current root; every node
+      on the path re-points [father] to the requester (path reversal /
+      path compression), giving the O(log n) average message complexity;
+    - the root either sends the token immediately (idle) or records the
+      requester in [next] (the requester will receive the token on
+      release).
+
+    The engine is transport-agnostic exactly like {!Dcs_hlock.Node}. *)
+
+open Dcs_proto
+
+type msg =
+  | Request of { requester : Node_id.t }
+      (** A request travelling the probable-owner chain. *)
+  | Token
+      (** The token: permission to enter the critical section. *)
+
+(** Figure-7 bucket of a message ([Request] or [Token_transfer]). *)
+val class_of : msg -> Msg_class.t
+
+val pp_msg : Format.formatter -> msg -> unit
+
+type t
+
+(** [create ~id ~is_root ~father ~send ~on_acquired ()] builds a node.
+    Exactly one node has [is_root = true] (it starts with the token and
+    [father = None]); all others point (directly or transitively) to it.
+    [on_acquired ()] fires when this node's pending request obtains the
+    token (possibly synchronously inside {!request}). *)
+val create :
+  id:Node_id.t ->
+  is_root:bool ->
+  father:Node_id.t option ->
+  send:(dst:Node_id.t -> msg -> unit) ->
+  on_acquired:(unit -> unit) ->
+  unit ->
+  t
+
+(** Ask for the critical section. Raises [Invalid_argument] if this node is
+    already requesting or inside its critical section (the protocol is not
+    reentrant). *)
+val request : t -> unit
+
+(** Leave the critical section, passing the token to [next] if some node is
+    waiting. Raises [Invalid_argument] if not inside the critical
+    section. *)
+val release : t -> unit
+
+(** Deliver one protocol message. *)
+val handle_msg : t -> src:Node_id.t -> msg -> unit
+
+(** {1 Introspection} *)
+
+val id : t -> Node_id.t
+
+(** Physically holds the token right now. *)
+val has_token : t -> bool
+
+(** Inside the critical section. *)
+val in_cs : t -> bool
+
+(** Waiting for the token. *)
+val requesting : t -> bool
+
+val father : t -> Node_id.t option
+val next : t -> Node_id.t option
+val pp_state : Format.formatter -> t -> unit

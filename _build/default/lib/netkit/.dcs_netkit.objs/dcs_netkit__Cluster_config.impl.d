@@ -1,0 +1,1 @@
+lib/netkit/cluster_config.ml: Dcs_proto List Printf String

@@ -1,0 +1,1 @@
+lib/netkit/cluster_config.mli: Dcs_proto

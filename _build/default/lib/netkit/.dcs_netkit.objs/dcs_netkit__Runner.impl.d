@@ -1,0 +1,1 @@
+lib/netkit/runner.ml: Array Bytes Char Cluster_config Condition Dcs_hlock Dcs_proto Dcs_wire Hashtbl Logs Mutex Printexc Queue String Thread Unix

@@ -1,0 +1,1 @@
+lib/netkit/runner.mli: Cluster_config Dcs_hlock Dcs_modes Dcs_proto

@@ -1,0 +1,45 @@
+type peer = {
+  id : Dcs_proto.Node_id.t;
+  host : string;
+  port : int;
+}
+
+type t = {
+  peers : peer list;
+  locks : int;
+}
+
+let parse ~locks spec =
+  if locks < 1 then Error "locks must be >= 1"
+  else
+    let entries = String.split_on_char ',' spec |> List.filter (fun s -> s <> "") in
+    let parse_one s =
+      match String.split_on_char ':' s with
+      | [ id; host; port ] -> (
+          match (int_of_string_opt (String.trim id), int_of_string_opt (String.trim port)) with
+          | Some id, Some port when id >= 0 && port > 0 && port < 65536 ->
+              Ok { id; host = String.trim host; port }
+          | _ -> Error (Printf.sprintf "bad peer entry %S" s))
+      | _ -> Error (Printf.sprintf "bad peer entry %S (want id:host:port)" s)
+    in
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | e :: rest -> ( match parse_one e with Ok p -> collect (p :: acc) rest | Error e -> Error e)
+    in
+    match collect [] entries with
+    | Error e -> Error e
+    | Ok [] -> Error "empty peer list"
+    | Ok peers ->
+        let peers = List.sort (fun a b -> compare a.id b.id) peers in
+        let ids = List.map (fun p -> p.id) peers in
+        if ids <> List.init (List.length peers) (fun i -> i) then
+          Error "peer ids must be dense from 0"
+        else Ok { peers; locks }
+
+let peer t id = List.nth t.peers id
+
+let size t = List.length t.peers
+
+let to_string t =
+  String.concat ","
+    (List.map (fun p -> Printf.sprintf "%d:%s:%d" p.id p.host p.port) t.peers)

@@ -1,0 +1,20 @@
+(** Static cluster membership for the real (TCP) transport. *)
+
+type peer = {
+  id : Dcs_proto.Node_id.t;
+  host : string;
+  port : int;
+}
+
+type t = {
+  peers : peer list;  (** sorted by id; ids must be 0..n-1 *)
+  locks : int;  (** number of shared lock objects *)
+}
+
+(** [parse ~locks "0:127.0.0.1:7001,1:127.0.0.1:7002"]. Validates that ids
+    are dense from 0 and ports are sane. *)
+val parse : locks:int -> string -> (t, string) result
+
+val peer : t -> Dcs_proto.Node_id.t -> peer
+val size : t -> int
+val to_string : t -> string

@@ -1,0 +1,347 @@
+module Node = Dcs_hlock.Node
+module Codec = Dcs_wire.Codec
+
+let src_log = Logs.Src.create "dcs.netkit" ~doc:"TCP cluster runner"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+type outbound = {
+  queue : string Queue.t;  (* encoded frames, body only *)
+  mutable alive : bool;
+  cond : Condition.t;
+}
+
+type t = {
+  config : Cluster_config.t;
+  self : int;
+  state : Mutex.t;  (* guards nodes, callback tables *)
+  mutable nodes : Node.t array;  (* one engine per lock *)
+  granted_cbs : (int * int, unit -> unit) Hashtbl.t;  (* (lock, seq) *)
+  granted_fired : (int * int, unit) Hashtbl.t;
+  upgraded_cbs : (int * int, unit -> unit) Hashtbl.t;
+  upgraded_fired : (int * int, unit) Hashtbl.t;
+  counters : Dcs_proto.Counters.t;
+  outbounds : (int, outbound) Hashtbl.t;  (* peer id -> writer state *)
+  outbound_lock : Mutex.t;
+  mutable listener : Unix.file_descr option;
+  mutable running : bool;
+  mutable threads : Thread.t list;
+}
+
+let id t = t.self
+
+let counters t = t.counters
+
+(* {1 Outbound connections: one writer thread per peer} *)
+
+let writer_loop t peer_id out =
+  let peer = Cluster_config.peer t.config peer_id in
+  let rec connect attempts =
+    if not out.alive then None
+    else
+      try
+        let addr = Unix.ADDR_INET (Unix.inet_addr_of_string peer.host, peer.port) in
+        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt sock Unix.TCP_NODELAY true;
+        Unix.connect sock addr;
+        Some sock
+      with _ ->
+        if attempts > 100 then None
+        else begin
+          Thread.delay 0.1;
+          connect (attempts + 1)
+        end
+  in
+  match connect 0 with
+  | None -> Log.err (fun m -> m "writer to %d: could not connect" peer_id)
+  | Some fd ->
+      let really_write buf =
+        let n = Bytes.length buf in
+        let rec go off =
+          if off < n then begin
+            let k = Unix.write fd buf off (n - off) in
+            go (off + k)
+          end
+        in
+        go 0
+      in
+      let rec pump () =
+        Mutex.lock t.outbound_lock;
+        while Queue.is_empty out.queue && out.alive do
+          Condition.wait out.cond t.outbound_lock
+        done;
+        if not out.alive then begin
+          Mutex.unlock t.outbound_lock;
+          (try Unix.close fd with _ -> ())
+        end
+        else begin
+          let body = Queue.pop out.queue in
+          Mutex.unlock t.outbound_lock;
+          (try
+             let len = String.length body in
+             let frame = Bytes.create (4 + len) in
+             Bytes.set frame 0 (Char.chr ((len lsr 24) land 0xff));
+             Bytes.set frame 1 (Char.chr ((len lsr 16) land 0xff));
+             Bytes.set frame 2 (Char.chr ((len lsr 8) land 0xff));
+             Bytes.set frame 3 (Char.chr (len land 0xff));
+             Bytes.blit_string body 0 frame 4 len;
+             really_write frame
+           with e ->
+             Log.err (fun m -> m "writer to %d: write failed: %s" peer_id (Printexc.to_string e));
+             out.alive <- false);
+          pump ()
+        end
+      in
+      pump ()
+
+let outbound_for t peer_id =
+  Mutex.lock t.outbound_lock;
+  let out =
+    match Hashtbl.find_opt t.outbounds peer_id with
+    | Some out when out.alive -> out
+    | _ ->
+        let out = { queue = Queue.create (); alive = true; cond = Condition.create () } in
+        Hashtbl.replace t.outbounds peer_id out;
+        let th = Thread.create (fun () -> writer_loop t peer_id out) () in
+        t.threads <- th :: t.threads;
+        out
+  in
+  Mutex.unlock t.outbound_lock;
+  out
+
+let send_frame t ~dst body =
+  if dst = t.self then Log.err (fun m -> m "dropping self-addressed frame")
+  else begin
+    let out = outbound_for t dst in
+    Mutex.lock t.outbound_lock;
+    Queue.push body out.queue;
+    Condition.signal out.cond;
+    Mutex.unlock t.outbound_lock
+  end
+
+(* {1 Node construction} *)
+
+let create ?(protocol = Node.default_config) ~config ~self () =
+  let n = Cluster_config.size config in
+  if self < 0 || self >= n then invalid_arg "Runner.create: self out of range";
+  let t =
+    {
+      config;
+      self;
+      state = Mutex.create ();
+      nodes = [||];
+      granted_cbs = Hashtbl.create 32;
+      granted_fired = Hashtbl.create 32;
+      upgraded_cbs = Hashtbl.create 8;
+      upgraded_fired = Hashtbl.create 8;
+      counters = Dcs_proto.Counters.create ();
+      outbounds = Hashtbl.create 8;
+      outbound_lock = Mutex.create ();
+      listener = None;
+      running = false;
+      threads = [];
+    }
+  in
+  let nodes =
+    Array.init config.Cluster_config.locks (fun lock ->
+        let send ~dst msg =
+          Dcs_proto.Counters.incr t.counters (Dcs_hlock.Msg.class_of msg);
+          let body =
+            Codec.encode { Codec.src = self; lock; payload = Codec.Hlock msg }
+          in
+          send_frame t ~dst body
+        in
+        let on_granted (r : Dcs_hlock.Msg.request) =
+          let key = (lock, r.seq) in
+          match Hashtbl.find_opt t.granted_cbs key with
+          | Some cb ->
+              Hashtbl.remove t.granted_cbs key;
+              cb ()
+          | None -> Hashtbl.replace t.granted_fired key ()
+        in
+        let on_upgraded seq =
+          let key = (lock, seq) in
+          match Hashtbl.find_opt t.upgraded_cbs key with
+          | Some cb ->
+              Hashtbl.remove t.upgraded_cbs key;
+              cb ()
+          | None -> Hashtbl.replace t.upgraded_fired key ()
+        in
+        Node.create ~config:protocol ~id:self ~peers:n ~is_token:(self = 0)
+          ~parent:(if self = 0 then None else Some 0)
+          ~send ~on_granted ~on_upgraded ())
+  in
+  t.nodes <- nodes;
+  t
+
+(* {1 Inbound} *)
+
+let dispatch t (env : Codec.envelope) =
+  match env.Codec.payload with
+  | Codec.Hlock msg ->
+      if env.Codec.lock < 0 || env.Codec.lock >= Array.length t.nodes then
+        Log.err (fun m -> m "message for unknown lock %d" env.Codec.lock)
+      else begin
+        Mutex.lock t.state;
+        (try Node.handle_msg t.nodes.(env.Codec.lock) ~src:env.Codec.src msg
+         with e ->
+           Log.err (fun m -> m "handler raised: %s" (Printexc.to_string e)));
+        Mutex.unlock t.state
+      end
+  | Codec.Naimi _ -> Log.err (fun m -> m "unexpected Naimi payload")
+
+(* Raw-socket framing (no buffered channels): read exactly [n] bytes. *)
+let really_read fd buf n =
+  let rec go off =
+    if off < n then begin
+      let k = Unix.read fd buf off (n - off) in
+      if k = 0 then raise End_of_file;
+      go (off + k)
+    end
+  in
+  go 0
+
+let reader_loop t fd =
+  let header = Bytes.create 4 in
+  let rec go () =
+    match really_read fd header 4 with
+    | exception End_of_file -> ()
+    | exception _ -> ()
+    | () ->
+        let len =
+          (Char.code (Bytes.get header 0) lsl 24)
+          lor (Char.code (Bytes.get header 1) lsl 16)
+          lor (Char.code (Bytes.get header 2) lsl 8)
+          lor Char.code (Bytes.get header 3)
+        in
+        if len > Codec.max_frame then Log.err (fun m -> m "oversized frame (%d bytes)" len)
+        else begin
+          let body = Bytes.create len in
+          match really_read fd body len with
+          | exception _ -> ()
+          | () -> (
+              match Codec.decode (Bytes.to_string body) with
+              | env ->
+                  dispatch t env;
+                  go ()
+              | exception Dcs_wire.Buf.Malformed reason ->
+                  Log.err (fun m -> m "malformed frame: %s" reason))
+        end
+  in
+  go ()
+
+let accept_loop t sock =
+  while t.running do
+    match Unix.accept sock with
+    | conn, _ ->
+        let th = Thread.create (fun () -> reader_loop t conn) () in
+        t.threads <- th :: t.threads
+    | exception _ -> ()
+  done
+
+let kick_loop t =
+  while t.running do
+    Thread.delay 1.0;
+    Mutex.lock t.state;
+    Array.iter Node.kick t.nodes;
+    Mutex.unlock t.state
+  done
+
+let start t =
+  if t.running then ()
+  else begin
+    t.running <- true;
+    let me = Cluster_config.peer t.config t.self in
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string me.Cluster_config.host, me.Cluster_config.port));
+    Unix.listen sock 64;
+    t.listener <- Some sock;
+    t.threads <- Thread.create (fun () -> accept_loop t sock) () :: t.threads;
+    t.threads <- Thread.create (fun () -> kick_loop t) () :: t.threads
+  end
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    (match t.listener with
+    | Some sock -> ( try Unix.close sock with _ -> ())
+    | None -> ());
+    t.listener <- None;
+    Mutex.lock t.outbound_lock;
+    Hashtbl.iter
+      (fun _ out ->
+        out.alive <- false;
+        Condition.broadcast out.cond)
+      t.outbounds;
+    Mutex.unlock t.outbound_lock
+  end
+
+(* {1 Client API} *)
+
+let request ?priority t ~lock ~mode ~on_granted =
+  Mutex.lock t.state;
+  let seq = Node.request ?priority t.nodes.(lock) ~mode in
+  let key = (lock, seq) in
+  (if Hashtbl.mem t.granted_fired key then begin
+     Hashtbl.remove t.granted_fired key;
+     on_granted ()
+   end
+   else Hashtbl.replace t.granted_cbs key on_granted);
+  Mutex.unlock t.state;
+  seq
+
+let release t ~lock ~seq =
+  Mutex.lock t.state;
+  (try Node.release t.nodes.(lock) ~seq
+   with e ->
+     Mutex.unlock t.state;
+     raise e);
+  Mutex.unlock t.state
+
+let upgrade t ~lock ~seq ~on_upgraded =
+  Mutex.lock t.state;
+  (try
+     Node.upgrade t.nodes.(lock) ~seq;
+     let key = (lock, seq) in
+     if Hashtbl.mem t.upgraded_fired key then begin
+       Hashtbl.remove t.upgraded_fired key;
+       on_upgraded ()
+     end
+     else Hashtbl.replace t.upgraded_cbs key on_upgraded
+   with e ->
+     Mutex.unlock t.state;
+     raise e);
+  Mutex.unlock t.state
+
+(* Blocking wrappers: a tiny one-shot latch. The grant callback may run on
+   a reader thread (under the state mutex) or synchronously in [request];
+   it only flips the latch, so holding the mutex is fine. *)
+let request_sync ?priority t ~lock ~mode =
+  let m = Mutex.create () and c = Condition.create () and done_ = ref false in
+  let seq =
+    request ?priority t ~lock ~mode ~on_granted:(fun () ->
+        Mutex.lock m;
+        done_ := true;
+        Condition.signal c;
+        Mutex.unlock m)
+  in
+  Mutex.lock m;
+  while not !done_ do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  seq
+
+let upgrade_sync t ~lock ~seq =
+  let m = Mutex.create () and c = Condition.create () and done_ = ref false in
+  upgrade t ~lock ~seq ~on_upgraded:(fun () ->
+      Mutex.lock m;
+      done_ := true;
+      Condition.signal c;
+      Mutex.unlock m);
+  Mutex.lock m;
+  while not !done_ do
+    Condition.wait c m
+  done;
+  Mutex.unlock m

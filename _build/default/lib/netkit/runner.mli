@@ -1,0 +1,42 @@
+(** One node of a real TCP-connected cluster, running the hierarchical
+    protocol for every configured lock object.
+
+    Threads: one listener (accept loop), one reader per inbound connection,
+    one writer per outbound peer (so protocol handlers never block on
+    sockets), and one watchdog running the custody kick. All protocol
+    state is guarded by a single mutex; grant callbacks run while it is
+    held and must not block or re-enter synchronously from another thread.
+
+    The token for every lock starts at node 0 — start node 0 first, or let
+    connection retries smooth over the startup order. *)
+
+type t
+
+(** Build a runner for [self] in [config]. Does not touch the network. *)
+val create : ?protocol:Dcs_hlock.Node.config -> config:Cluster_config.t -> self:int -> unit -> t
+
+(** Bind the listen port and start the service threads. *)
+val start : t -> unit
+
+(** Stop the threads and close every socket. Idempotent. *)
+val stop : t -> unit
+
+(** {1 Asynchronous API (callbacks run under the state mutex)} *)
+
+val request : ?priority:int -> t -> lock:int -> mode:Dcs_modes.Mode.t -> on_granted:(unit -> unit) -> int
+val release : t -> lock:int -> seq:int -> unit
+val upgrade : t -> lock:int -> seq:int -> on_upgraded:(unit -> unit) -> unit
+
+(** {1 Blocking convenience wrappers} *)
+
+(** Acquire and wait for the grant; returns the ticket. *)
+val request_sync : ?priority:int -> t -> lock:int -> mode:Dcs_modes.Mode.t -> int
+
+(** Upgrade a held [U] ticket to [W] and wait. *)
+val upgrade_sync : t -> lock:int -> seq:int -> unit
+
+(** Messages sent by this node so far, by class. *)
+val counters : t -> Dcs_proto.Counters.t
+
+(** This node's id. *)
+val id : t -> int

@@ -1,0 +1,1 @@
+lib/proto/counters.ml: Array Format List Msg_class

@@ -1,0 +1,1 @@
+lib/proto/counters.mli: Format Msg_class

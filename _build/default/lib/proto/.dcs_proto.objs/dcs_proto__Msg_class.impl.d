@@ -1,0 +1,1 @@
+lib/proto/msg_class.ml: Format

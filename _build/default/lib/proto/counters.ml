@@ -1,0 +1,24 @@
+type t = int array
+
+let buckets = List.length Msg_class.all
+
+let create () = Array.make buckets 0
+
+let incr t c = t.(Msg_class.index c) <- t.(Msg_class.index c) + 1
+
+let get t c = t.(Msg_class.index c)
+
+let total t = Array.fold_left ( + ) 0 t
+
+let merge_into ~dst ~src = Array.iteri (fun i v -> dst.(i) <- dst.(i) + v) src
+
+let reset t = Array.fill t 0 buckets 0
+
+let to_list t = List.map (fun c -> (c, get t c)) Msg_class.all
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (c, n) -> Format.fprintf ppf "%a=%d" Msg_class.pp c n))
+    (to_list t)

@@ -1,0 +1,25 @@
+(** Message counters, bucketed by {!Msg_class}. *)
+
+type t
+
+val create : unit -> t
+
+(** Increment one bucket. *)
+val incr : t -> Msg_class.t -> unit
+
+(** Count in one bucket. *)
+val get : t -> Msg_class.t -> int
+
+(** Sum over all buckets. *)
+val total : t -> int
+
+(** Add [src] into [dst]. *)
+val merge_into : dst:t -> src:t -> unit
+
+(** Reset all buckets to zero. *)
+val reset : t -> unit
+
+(** [(class, count)] pairs in {!Msg_class.all} order. *)
+val to_list : t -> (Msg_class.t * int) list
+
+val pp : Format.formatter -> t -> unit

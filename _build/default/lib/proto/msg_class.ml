@@ -1,0 +1,26 @@
+type t =
+  | Request
+  | Copy_grant
+  | Token_transfer
+  | Release
+  | Freeze
+
+let all = [ Request; Copy_grant; Token_transfer; Release; Freeze ]
+
+let equal (a : t) (b : t) = a = b
+
+let index = function
+  | Request -> 0
+  | Copy_grant -> 1
+  | Token_transfer -> 2
+  | Release -> 3
+  | Freeze -> 4
+
+let to_string = function
+  | Request -> "request"
+  | Copy_grant -> "grant"
+  | Token_transfer -> "token"
+  | Release -> "release"
+  | Freeze -> "freeze"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,19 @@
+(** Protocol-message taxonomy shared by all protocols.
+
+    These are the categories of Figure 7 of the paper (message-overhead
+    breakdown): request relays, copy grants, token transfers, releases and
+    freeze notifications. The Naimi baseline only ever emits [Request] and
+    [Token_transfer]. *)
+
+type t =
+  | Request  (** lock request (initial send or relay hop) *)
+  | Copy_grant  (** Rule 3 copy grant from a (token or non-token) node *)
+  | Token_transfer  (** token handover (Rule 3.2 operational) *)
+  | Release  (** upward owned-mode weakening / child detach (Rule 5) *)
+  | Freeze  (** frozen-mode notification (Rule 6) *)
+
+val all : t list
+val equal : t -> t -> bool
+val index : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

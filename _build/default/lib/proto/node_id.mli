@@ -1,0 +1,11 @@
+(** Node identifiers.
+
+    Nodes are numbered densely from 0; identifiers double as array indices
+    in the runtime and as addresses in the transports. *)
+
+type t = int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

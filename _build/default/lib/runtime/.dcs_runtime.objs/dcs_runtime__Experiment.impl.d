@@ -1,0 +1,1 @@
+lib/runtime/experiment.ml: Counters Dcs_hlock Dcs_modes Dcs_proto Dcs_sim Dcs_stats Dcs_workload Hashtbl Hlock_cluster Int64 List Mode Msg_class Naimi_cluster Net Printf String

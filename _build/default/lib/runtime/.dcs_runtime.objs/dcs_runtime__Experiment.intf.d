@@ -1,0 +1,1 @@
+lib/runtime/experiment.mli: Dcs_hlock Dcs_modes Dcs_proto Dcs_sim Dcs_stats Dcs_workload Mode Msg_class

@@ -1,0 +1,1 @@
+lib/runtime/figures.ml: Buffer Dcs_hlock Dcs_modes Dcs_proto Dcs_sim Dcs_stats Dcs_workload Experiment Format List Msg_class Option Printf String

@@ -1,0 +1,1 @@
+lib/runtime/figures.mli: Dcs_hlock Dcs_proto Dcs_workload Experiment

@@ -1,0 +1,1 @@
+lib/runtime/hlock_cluster.ml: Array Compat Dcs_hlock Dcs_modes Dcs_proto Format Hashtbl List Mode Net Printf String

@@ -1,0 +1,1 @@
+lib/runtime/hlock_cluster.mli: Dcs_hlock Dcs_modes Dcs_proto Mode Net

@@ -1,0 +1,1 @@
+lib/runtime/naimi_cluster.ml: Array Dcs_naimi Format Hashtbl List Net Printf String

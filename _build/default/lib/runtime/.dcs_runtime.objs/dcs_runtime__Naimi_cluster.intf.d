@@ -1,0 +1,1 @@
+lib/runtime/naimi_cluster.mli: Dcs_naimi Net

@@ -1,0 +1,1 @@
+lib/runtime/net.ml: Counters Dcs_proto Dcs_sim Float Hashtbl Node_id Printf

@@ -1,0 +1,1 @@
+lib/runtime/net.mli: Dcs_proto Dcs_sim

@@ -1,0 +1,276 @@
+open Dcs_modes
+open Dcs_proto
+module Airline = Dcs_workload.Airline
+
+type driver =
+  | Hierarchical
+  | Naimi_same_work
+  | Naimi_pure
+
+let driver_to_string = function
+  | Hierarchical -> "hierarchical"
+  | Naimi_same_work -> "naimi-same-work"
+  | Naimi_pure -> "naimi-pure"
+
+type config = {
+  nodes : int;
+  driver : driver;
+  workload : Airline.config;
+  latency : Dcs_sim.Dist.t;
+  topology : Dcs_sim.Topology.t;
+  seed : int64;
+  protocol : Dcs_hlock.Node.config;
+  oracle : bool;
+}
+
+let default_config ~driver ~nodes =
+  {
+    nodes;
+    driver;
+    workload = Airline.default_config;
+    latency = Dcs_sim.Dist.uniform_around 150.0;
+    topology = Dcs_sim.Topology.uniform;
+    seed = 42L;
+    protocol = Dcs_hlock.Node.default_config;
+    oracle = false;
+  }
+
+type result = {
+  cfg : config;
+  ops : int;
+  lock_requests : int;
+  messages : (Msg_class.t * int) list;
+  total_messages : int;
+  msgs_per_op : float;
+  msgs_per_lock_request : float;
+  mean_latency_ms : float;
+  latency_factor : float;
+  p95_latency_ms : float;
+  per_class : (Mode.t * int * float) list;
+  latencies : Dcs_stats.Sample.t;
+  sim_duration_ms : float;
+  events : int;
+}
+
+(* Shared measurement state threaded through the per-driver clients. *)
+type meter = {
+  mutable ops_done : int;
+  mutable lock_requests : int;
+  latencies : Dcs_stats.Sample.t;
+  class_latencies : (Mode.t, Dcs_stats.Summary.t) Hashtbl.t;
+}
+
+let meter_create () =
+  { ops_done = 0; lock_requests = 0; latencies = Dcs_stats.Sample.create (); class_latencies = Hashtbl.create 8 }
+
+let record_acquired meter ~cls ~elapsed =
+  Dcs_stats.Sample.add meter.latencies elapsed;
+  let s =
+    match Hashtbl.find_opt meter.class_latencies cls with
+    | Some s -> s
+    | None ->
+        let s = Dcs_stats.Summary.create () in
+        Hashtbl.replace meter.class_latencies cls s;
+        s
+  in
+  Dcs_stats.Summary.add s elapsed
+
+(* {1 The hierarchical driver} *)
+
+let run_hierarchical cfg engine net meter =
+  let wl = cfg.workload in
+  let cluster =
+    Hlock_cluster.create ~config:cfg.protocol ~oracle:cfg.oracle ~net ~nodes:cfg.nodes
+      ~locks:(1 + wl.Airline.entries) ()
+  in
+  let master = Dcs_sim.Rng.create ~seed:cfg.seed in
+  (* Custody watchdog: as long as work remains, kick every few round trips. *)
+  let expected_ops = cfg.nodes * wl.Airline.ops_per_node in
+  let kick_period = 400.0 *. Dcs_sim.Dist.mean cfg.latency in
+  let rec kick_loop () =
+    if meter.ops_done < expected_ops then begin
+      Hlock_cluster.kick_all cluster;
+      Dcs_sim.Engine.schedule engine ~after:kick_period kick_loop
+    end
+  in
+  Dcs_sim.Engine.schedule engine ~after:kick_period kick_loop;
+  let table = 0 and entry_lock e = 1 + e in
+  for node = 0 to cfg.nodes - 1 do
+    let rng = Dcs_sim.Rng.split master in
+    let remaining = ref wl.Airline.ops_per_node in
+    let rec idle_then_op () =
+      if !remaining > 0 then
+        Dcs_sim.Engine.schedule engine ~after:(Dcs_sim.Dist.sample wl.Airline.idle_time rng)
+          start_op
+    and start_op () =
+      let op = Airline.sample_op wl rng in
+      let t0 = Dcs_sim.Engine.now engine in
+      let acquired ~release =
+        record_acquired meter ~cls:(Airline.op_class op) ~elapsed:(Dcs_sim.Engine.now engine -. t0);
+        let cs = Dcs_sim.Dist.sample wl.Airline.cs_time rng in
+        match op with
+        | Airline.Table_op { upgrade = true; _ } ->
+            (* Read under U for half the CS, then upgrade and write. *)
+            Dcs_sim.Engine.schedule engine ~after:(cs /. 2.0) (fun () ->
+                release ~upgrade_first:true ~after:(cs /. 2.0))
+        | Airline.Table_op _ | Airline.Entry_op _ ->
+            Dcs_sim.Engine.schedule engine ~after:cs (fun () ->
+                release ~upgrade_first:false ~after:0.0)
+      in
+      let finish () =
+        meter.ops_done <- meter.ops_done + 1;
+        decr remaining;
+        idle_then_op ()
+      in
+      match op with
+      | Airline.Table_op { mode; _ } ->
+          meter.lock_requests <- meter.lock_requests + 1;
+          let seq = ref (-1) in
+          seq :=
+            Hlock_cluster.request cluster ~node ~lock:table ~mode ~on_granted:(fun () ->
+                acquired ~release:(fun ~upgrade_first ~after ->
+                    if upgrade_first then
+                      Hlock_cluster.upgrade cluster ~node ~lock:table ~seq:!seq
+                        ~on_upgraded:(fun () ->
+                          Dcs_sim.Engine.schedule engine ~after (fun () ->
+                              Hlock_cluster.release cluster ~node ~lock:table ~seq:!seq;
+                              finish ()))
+                    else begin
+                      Hlock_cluster.release cluster ~node ~lock:table ~seq:!seq;
+                      finish ()
+                    end))
+      | Airline.Entry_op { intent; entry_mode; entry } ->
+          meter.lock_requests <- meter.lock_requests + 2;
+          let table_seq = ref (-1) and entry_seq = ref (-1) in
+          table_seq :=
+            Hlock_cluster.request cluster ~node ~lock:table ~mode:intent ~on_granted:(fun () ->
+                entry_seq :=
+                  Hlock_cluster.request cluster ~node ~lock:(entry_lock entry) ~mode:entry_mode
+                    ~on_granted:(fun () ->
+                      acquired ~release:(fun ~upgrade_first:_ ~after:_ ->
+                          Hlock_cluster.release cluster ~node ~lock:(entry_lock entry)
+                            ~seq:!entry_seq;
+                          Hlock_cluster.release cluster ~node ~lock:table ~seq:!table_seq;
+                          finish ())))
+    in
+    idle_then_op ()
+  done;
+  fun () -> if cfg.oracle then Hlock_cluster.quiescent_violations cluster else []
+
+(* {1 The Naimi drivers} *)
+
+(* [Naimi_same_work]: entry ops take that entry's exclusive lock; table ops
+   take every entry lock in ascending order (total order = no deadlock).
+   [Naimi_pure]: one global lock for everything. *)
+let run_naimi cfg engine net meter ~pure =
+  let wl = cfg.workload in
+  let locks = if pure then 1 else wl.Airline.entries in
+  let cluster = Naimi_cluster.create ~oracle:cfg.oracle ~net ~nodes:cfg.nodes ~locks () in
+  let master = Dcs_sim.Rng.create ~seed:cfg.seed in
+  for node = 0 to cfg.nodes - 1 do
+    let rng = Dcs_sim.Rng.split master in
+    let remaining = ref wl.Airline.ops_per_node in
+    let rec idle_then_op () =
+      if !remaining > 0 then
+        Dcs_sim.Engine.schedule engine ~after:(Dcs_sim.Dist.sample wl.Airline.idle_time rng)
+          start_op
+    and start_op () =
+      let op = Airline.sample_op wl rng in
+      let t0 = Dcs_sim.Engine.now engine in
+      let wanted =
+        if pure then [ 0 ]
+        else
+          match op with
+          | Airline.Entry_op { entry; _ } -> [ entry ]
+          | Airline.Table_op _ -> List.init wl.Airline.entries (fun i -> i)
+      in
+      meter.lock_requests <- meter.lock_requests + List.length wanted;
+      let rec acquire = function
+        | [] ->
+            record_acquired meter ~cls:(Airline.op_class op)
+              ~elapsed:(Dcs_sim.Engine.now engine -. t0);
+            let cs = Dcs_sim.Dist.sample wl.Airline.cs_time rng in
+            Dcs_sim.Engine.schedule engine ~after:cs (fun () ->
+                List.iter (fun lock -> Naimi_cluster.release cluster ~node ~lock) wanted;
+                meter.ops_done <- meter.ops_done + 1;
+                decr remaining;
+                idle_then_op ())
+        | lock :: rest ->
+            Naimi_cluster.request cluster ~node ~lock ~on_acquired:(fun () -> acquire rest)
+      in
+      acquire wanted
+    in
+    idle_then_op ()
+  done;
+  fun () -> if cfg.oracle then Naimi_cluster.quiescent_violations cluster else []
+
+(* {1 Runner} *)
+
+let run cfg =
+  let engine = Dcs_sim.Engine.create () in
+  let net_rng = Dcs_sim.Rng.create ~seed:(Int64.add cfg.seed 0x9E37L) in
+  let net = Net.create ~engine ~latency:cfg.latency ~topology:cfg.topology ~rng:net_rng () in
+  let meter = meter_create () in
+  let quiescent =
+    match cfg.driver with
+    | Hierarchical -> run_hierarchical cfg engine net meter
+    | Naimi_same_work -> run_naimi cfg engine net meter ~pure:false
+    | Naimi_pure -> run_naimi cfg engine net meter ~pure:true
+  in
+  (match Dcs_sim.Engine.run engine with
+  | Dcs_sim.Engine.Drained -> ()
+  | Dcs_sim.Engine.Horizon_reached -> assert false
+  | Dcs_sim.Engine.Event_limit -> failwith "Experiment.run: event limit hit (livelock?)");
+  let expected = cfg.nodes * cfg.workload.Airline.ops_per_node in
+  if meter.ops_done <> expected then
+    failwith
+      (Printf.sprintf "Experiment.run (%s, n=%d): %d/%d operations completed — liveness failure"
+         (driver_to_string cfg.driver) cfg.nodes meter.ops_done expected);
+  (match quiescent () with
+  | [] -> ()
+  | vs -> failwith ("Experiment.run: quiescence violations: " ^ String.concat "; " vs));
+  let counters = Net.counters net in
+  let total_messages = Counters.total counters in
+  let ops = meter.ops_done in
+  let mean_latency_ms = Dcs_stats.Sample.mean meter.latencies in
+  let per_class =
+    List.filter_map
+      (fun m ->
+        match Hashtbl.find_opt meter.class_latencies m with
+        | None -> None
+        | Some s -> Some (m, Dcs_stats.Summary.count s, Dcs_stats.Summary.mean s))
+      Mode.all
+  in
+  {
+    cfg;
+    ops;
+    lock_requests = meter.lock_requests;
+    messages = Counters.to_list counters;
+    total_messages;
+    msgs_per_op = float_of_int total_messages /. float_of_int (max 1 ops);
+    msgs_per_lock_request = float_of_int total_messages /. float_of_int (max 1 meter.lock_requests);
+    mean_latency_ms;
+    latency_factor = mean_latency_ms /. Net.mean_latency net;
+    p95_latency_ms = Dcs_stats.Sample.percentile meter.latencies 95.0;
+    per_class;
+    latencies = meter.latencies;
+    sim_duration_ms = Dcs_sim.Engine.now engine;
+    events = Dcs_sim.Engine.events_processed engine;
+  }
+
+let row_header =
+  [ "driver"; "nodes"; "ops"; "lock reqs"; "msgs"; "msg/op"; "msg/lockreq"; "lat ms"; "lat factor"; "p95 ms" ]
+
+let result_row r =
+  [
+    driver_to_string r.cfg.driver;
+    string_of_int r.cfg.nodes;
+    string_of_int r.ops;
+    string_of_int r.lock_requests;
+    string_of_int r.total_messages;
+    Printf.sprintf "%.2f" r.msgs_per_op;
+    Printf.sprintf "%.2f" r.msgs_per_lock_request;
+    Printf.sprintf "%.1f" r.mean_latency_ms;
+    Printf.sprintf "%.1f" r.latency_factor;
+    Printf.sprintf "%.1f" r.p95_latency_ms;
+  ]

@@ -1,0 +1,69 @@
+(** End-to-end drivers for the paper's evaluation (§4).
+
+    One experiment = one cluster size × one driver × the airline workload.
+    The three drivers mirror the paper's comparison:
+
+    - [Hierarchical]: the paper's protocol; entry accesses take the table
+      lock in an intention mode plus the entry lock, table accesses take
+      the single table lock in R/U/W.
+    - [Naimi_same_work]: the baseline emulating the same functionality —
+      entry accesses take the entry's (exclusive) lock; table accesses
+      take {e every} entry lock one by one in ascending order (the paper's
+      deadlock-avoiding total order).
+    - [Naimi_pure]: the baseline in its original single-lock setting
+      (every operation contends for one global exclusive lock); provides
+      the protocol-overhead floor, not the same functionality. *)
+
+open Dcs_modes
+open Dcs_proto
+
+type driver =
+  | Hierarchical
+  | Naimi_same_work
+  | Naimi_pure
+
+val driver_to_string : driver -> string
+
+type config = {
+  nodes : int;
+  driver : driver;
+  workload : Dcs_workload.Airline.config;
+  latency : Dcs_sim.Dist.t;  (** network latency; paper mean 150 ms *)
+  topology : Dcs_sim.Topology.t;  (** per-pair latency scaling (default uniform) *)
+  seed : int64;
+  protocol : Dcs_hlock.Node.config;  (** hierarchical-protocol ablations *)
+  oracle : bool;  (** re-check safety invariants after every message *)
+}
+
+(** Paper-parameter configuration for a driver and cluster size. *)
+val default_config : driver:driver -> nodes:int -> config
+
+type result = {
+  cfg : config;
+  ops : int;  (** completed application operations *)
+  lock_requests : int;  (** individual lock acquisitions issued *)
+  messages : (Msg_class.t * int) list;  (** breakdown (Figure 7) *)
+  total_messages : int;
+  msgs_per_op : float;  (** Figure 5's y-axis (per application request) *)
+  msgs_per_lock_request : float;
+  mean_latency_ms : float;  (** mean time from issue to all locks held *)
+  latency_factor : float;  (** Figure 6's y-axis: mean latency / mean
+                               point-to-point latency *)
+  p95_latency_ms : float;
+  per_class : (Mode.t * int * float) list;
+      (** per request class: count and mean acquisition latency (ms) *)
+  latencies : Dcs_stats.Sample.t;  (** raw per-operation acquisition latencies *)
+  sim_duration_ms : float;
+  events : int;
+}
+
+(** Run to completion (all nodes finish their ops and the event queue
+    drains). Raises [Failure] on liveness failure (operations that never
+    complete), on oracle violations, and on residual structural damage
+    detected at quiescence when [oracle] is set. *)
+val run : config -> result
+
+(** One row of the experiment summary table. *)
+val result_row : result -> string list
+
+val row_header : string list

@@ -1,0 +1,74 @@
+(** A simulated cluster of nodes sharing a set of hierarchical lock objects
+    under the paper's protocol.
+
+    Each lock object is an independent instance of the protocol (its own
+    logical tree and token) over the same node population; messages travel
+    through a shared {!Net}. Lock 0's token starts at node 0, as do all
+    others — matching the paper's setup where the tree is initially a star
+    rooted at the token node.
+
+    An optional runtime oracle re-validates safety invariants after every
+    delivered message (single token per lock, pairwise-compatible held
+    modes); it is O(nodes) per message, so enable it in tests, not in
+    large benchmark sweeps. *)
+
+open Dcs_modes
+
+type t
+
+val create :
+  ?config:Dcs_hlock.Node.config ->
+  ?oracle:bool ->
+  net:Net.t ->
+  nodes:int ->
+  locks:int ->
+  unit ->
+  t
+
+val nodes : t -> int
+val locks : t -> int
+
+(** Direct access to a node engine (tests and inspection). *)
+val node : t -> lock:int -> node:int -> Dcs_hlock.Node.t
+
+(** [request t ~node ~lock ~mode ~on_granted] issues a request and returns
+    its ticket. [on_granted] fires exactly once — possibly before this
+    function returns (message-free local acquisition). [priority]
+    (default 0) orders queue service; see {!Dcs_hlock.Node.request}. *)
+val request :
+  ?priority:int -> t -> node:int -> lock:int -> mode:Mode.t -> on_granted:(unit -> unit) -> int
+
+(** Release a granted ticket. *)
+val release : t -> node:int -> lock:int -> seq:int -> unit
+
+(** Upgrade a ticket held in [U] to [W] (Rule 7); [on_upgraded] fires
+    exactly once, possibly synchronously. *)
+val upgrade : t -> node:int -> lock:int -> seq:int -> on_upgraded:(unit -> unit) -> unit
+
+(** Messages sent so far on behalf of one lock object, by class. *)
+val lock_counters : t -> lock:int -> Dcs_proto.Counters.t
+
+(** Run the custody watchdog ({!Dcs_hlock.Node.kick}) on every node of
+    every lock. Schedule this periodically (a few network round-trips
+    apart) from the driver. *)
+val kick_all : t -> unit
+
+(** {1 Invariant oracles} *)
+
+(** Safety violations visible right now for one lock: token multiplicity
+    (holders plus in-flight transfers must be 1) and mutual compatibility
+    of all held modes. Empty list = no violation. *)
+val safety_violations : t -> lock:int -> string list
+
+(** Structural invariants that must hold once the simulation has drained
+    and all clients released: unique token, empty queues, no pending
+    requests, no held modes, and a mutually consistent copyset (each child
+    record matches the child's owned mode and accounting pointer; retained
+    cached modes pairwise compatible cluster-wide). Routing pointers are
+    deliberately {e not} required to form a tree — stale cycles are benign
+    because relayed requests carry their path and divert around them. *)
+val quiescent_violations : t -> string list
+
+(** Raise [Failure] with a readable report if any {!safety_violations}
+    exist on any lock. *)
+val assert_safe : t -> unit

@@ -1,0 +1,119 @@
+module Naimi = Dcs_naimi.Naimi
+
+type lock_state = {
+  mutable engines : Naimi.t array;
+  acquired_cbs : (int, unit -> unit) Hashtbl.t;  (* node -> callback *)
+  acquired_fired : (int, unit) Hashtbl.t;
+  mutable tokens_in_flight : int;
+}
+
+type t = {
+  net : Net.t;
+  n : int;
+  l : int;
+  locks_arr : lock_state array;
+  oracle : bool;
+}
+
+let nodes t = t.n
+let locks t = t.l
+let node t ~lock ~node = t.locks_arr.(lock).engines.(node)
+
+let safety_violations_lock ls ~lock =
+  let violations = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let in_cs = ref [] and holders = ref 0 in
+  Array.iter
+    (fun e ->
+      if Naimi.in_cs e then in_cs := Naimi.id e :: !in_cs;
+      if Naimi.has_token e then incr holders)
+    ls.engines;
+  if List.length !in_cs > 1 then
+    add "lock %d: mutual exclusion violated, in CS: [%s]" lock
+      (String.concat "," (List.map string_of_int !in_cs));
+  let tokens = !holders + ls.tokens_in_flight in
+  if tokens <> 1 then add "lock %d: token multiplicity %d" lock tokens;
+  List.rev !violations
+
+let safety_violations t ~lock = safety_violations_lock t.locks_arr.(lock) ~lock
+
+let quiescent_violations t =
+  let violations = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  for lock = 0 to t.l - 1 do
+    let ls = t.locks_arr.(lock) in
+    (match safety_violations t ~lock with [] -> () | vs -> List.iter (add "%s") vs);
+    Array.iter
+      (fun e ->
+        if Naimi.requesting e then add "lock %d: n%d still requesting" lock (Naimi.id e);
+        if Naimi.in_cs e then add "lock %d: n%d still in CS" lock (Naimi.id e);
+        if Naimi.next e <> None then add "lock %d: n%d has a dangling next" lock (Naimi.id e))
+      ls.engines
+  done;
+  List.rev !violations
+
+let create ?(oracle = false) ~net ~nodes:n ~locks:l () =
+  if n < 1 then invalid_arg "Naimi_cluster.create: need at least one node";
+  let t =
+    {
+      net;
+      n;
+      l;
+      locks_arr =
+        Array.init l (fun _ ->
+            {
+              engines = [||];
+              acquired_cbs = Hashtbl.create 32;
+              acquired_fired = Hashtbl.create 32;
+              tokens_in_flight = 0;
+            });
+      oracle;
+    }
+  in
+  for lock = 0 to l - 1 do
+    let ls = t.locks_arr.(lock) in
+    let engines =
+      Array.init n (fun id ->
+          let send ~dst msg =
+            (match msg with
+            | Naimi.Token -> ls.tokens_in_flight <- ls.tokens_in_flight + 1
+            | Naimi.Request _ -> ());
+            Net.send net ~src:id ~dst ~cls:(Naimi.class_of msg)
+              ~describe:(fun () -> Format.asprintf "lock%d %a" lock Naimi.pp_msg msg)
+              (fun () ->
+                (match msg with
+                | Naimi.Token -> ls.tokens_in_flight <- ls.tokens_in_flight - 1
+                | Naimi.Request _ -> ());
+                Naimi.handle_msg ls.engines.(dst) ~src:id msg;
+                if t.oracle then
+                  match safety_violations_lock ls ~lock with
+                  | [] -> ()
+                  | vs -> failwith (String.concat "; " vs))
+          in
+          let on_acquired () =
+            match Hashtbl.find_opt ls.acquired_cbs id with
+            | Some cb ->
+                Hashtbl.remove ls.acquired_cbs id;
+                cb ()
+            | None -> Hashtbl.replace ls.acquired_fired id ()
+          in
+          Naimi.create ~id ~is_root:(id = 0)
+            ~father:(if id = 0 then None else Some 0)
+            ~send ~on_acquired ())
+    in
+    ls.engines <- engines
+  done;
+  t
+
+let request t ~node ~lock ~on_acquired =
+  let ls = t.locks_arr.(lock) in
+  Naimi.request ls.engines.(node);
+  if Hashtbl.mem ls.acquired_fired node then begin
+    Hashtbl.remove ls.acquired_fired node;
+    on_acquired ()
+  end
+  else Hashtbl.replace ls.acquired_cbs node on_acquired
+
+let release t ~node ~lock =
+  let ls = t.locks_arr.(lock) in
+  Naimi.release ls.engines.(node)

@@ -1,0 +1,24 @@
+(** A simulated cluster running the Naimi–Trehel–Arnold baseline over a set
+    of exclusive lock objects (the paper's comparison protocol). *)
+
+type t
+
+val create : ?oracle:bool -> net:Net.t -> nodes:int -> locks:int -> unit -> t
+
+val nodes : t -> int
+val locks : t -> int
+val node : t -> lock:int -> node:int -> Dcs_naimi.Naimi.t
+
+(** Request the critical section for [lock]; [on_acquired] fires exactly
+    once (possibly synchronously). The protocol allows one outstanding
+    request per (node, lock). *)
+val request : t -> node:int -> lock:int -> on_acquired:(unit -> unit) -> unit
+
+(** Leave the critical section for [lock]. *)
+val release : t -> node:int -> lock:int -> unit
+
+(** Mutual exclusion and token-uniqueness violations visible right now. *)
+val safety_violations : t -> lock:int -> string list
+
+(** Structural invariants at full quiescence. *)
+val quiescent_violations : t -> string list

@@ -1,0 +1,57 @@
+open Dcs_proto
+
+type t = {
+  engine : Dcs_sim.Engine.t;
+  latency : Dcs_sim.Dist.t;
+  topology : Dcs_sim.Topology.t;
+  rng : Dcs_sim.Rng.t;
+  trace : Dcs_sim.Trace.t;
+  counters : Counters.t;
+  last_delivery : (Node_id.t * Node_id.t, float) Hashtbl.t;
+  mutable in_flight : int;
+}
+
+let create ~engine ~latency ?(topology = Dcs_sim.Topology.uniform) ~rng
+    ?(trace = Dcs_sim.Trace.create ~enabled:false ()) () =
+  {
+    engine;
+    latency;
+    topology;
+    rng;
+    trace;
+    counters = Counters.create ();
+    last_delivery = Hashtbl.create 64;
+    in_flight = 0;
+  }
+
+(* FIFO per directed pair: never schedule a delivery before an earlier one
+   on the same link (TCP semantics). *)
+let delivery_time t ~src ~dst =
+  let now = Dcs_sim.Engine.now t.engine in
+  let scale = Dcs_sim.Topology.factor t.topology ~src ~dst in
+  let naive = now +. (scale *. Dcs_sim.Dist.sample t.latency t.rng) in
+  let floor =
+    match Hashtbl.find_opt t.last_delivery (src, dst) with
+    | None -> naive
+    | Some last -> Float.max naive (last +. 1e-6)
+  in
+  Hashtbl.replace t.last_delivery (src, dst) floor;
+  floor
+
+let send t ~src ~dst ~cls ~describe deliver =
+  Counters.incr t.counters cls;
+  t.in_flight <- t.in_flight + 1;
+  let time = delivery_time t ~src ~dst in
+  Dcs_sim.Trace.record t.trace ~time:(Dcs_sim.Engine.now t.engine) (fun () ->
+      Printf.sprintf "send n%d->n%d %s (eta %.3f)" src dst (describe ()) time);
+  Dcs_sim.Engine.schedule_at t.engine ~time (fun () ->
+      t.in_flight <- t.in_flight - 1;
+      Dcs_sim.Trace.record t.trace ~time (fun () ->
+          Printf.sprintf "recv n%d->n%d %s" src dst (describe ()));
+      deliver ())
+
+let counters t = t.counters
+
+let in_flight t = t.in_flight
+
+let mean_latency t = Dcs_sim.Dist.mean t.latency

@@ -1,0 +1,41 @@
+(** Simulated point-to-point network over the discrete-event engine.
+
+    Models the paper's testbed: a full-duplex switched LAN where disjoint
+    point-to-point transfers proceed in parallel. Each message is delayed by
+    a draw from the latency distribution (paper mean: 150 ms), scaled by an
+    optional {!Dcs_sim.Topology} factor for the pair (racks, star, custom). Delivery is
+    FIFO per directed node pair — the property a TCP connection gives the
+    real transport, and one the protocol's release/grant epoch logic
+    assumes; cross-pair ordering is arbitrary. *)
+
+type t
+
+val create :
+  engine:Dcs_sim.Engine.t ->
+  latency:Dcs_sim.Dist.t ->
+  ?topology:Dcs_sim.Topology.t ->
+  rng:Dcs_sim.Rng.t ->
+  ?trace:Dcs_sim.Trace.t ->
+  unit ->
+  t
+
+(** [send t ~src ~dst ~cls ~describe deliver] counts one message of class
+    [cls], and schedules [deliver ()] after a latency draw (kept FIFO with
+    earlier [src]→[dst] messages). [describe] is forced only when tracing. *)
+val send :
+  t ->
+  src:Dcs_proto.Node_id.t ->
+  dst:Dcs_proto.Node_id.t ->
+  cls:Dcs_proto.Msg_class.t ->
+  describe:(unit -> string) ->
+  (unit -> unit) ->
+  unit
+
+(** Message counts by class since creation. *)
+val counters : t -> Dcs_proto.Counters.t
+
+(** Messages sent but not yet delivered. *)
+val in_flight : t -> int
+
+(** Mean of the latency distribution (for latency-factor normalization). *)
+val mean_latency : t -> float

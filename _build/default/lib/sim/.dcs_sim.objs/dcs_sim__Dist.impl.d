@@ -1,0 +1,1 @@
+lib/sim/dist.ml: Format Printf Rng String

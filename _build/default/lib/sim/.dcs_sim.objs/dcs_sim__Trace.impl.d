@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Char Format Int64 List Printf String

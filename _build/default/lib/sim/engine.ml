@@ -1,0 +1,52 @@
+type t = {
+  queue : (float, unit -> unit) Pqueue.t;
+  mutable clock : float;
+  mutable processed : int;
+}
+
+type outcome =
+  | Drained
+  | Horizon_reached
+  | Event_limit
+
+let create () = { queue = Pqueue.create ~compare:Float.compare; clock = 0.0; processed = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  let time = if time < t.clock then t.clock else time in
+  Pqueue.add t.queue time f
+
+let schedule t ~after f =
+  let after = if after < 0.0 then 0.0 else after in
+  schedule_at t ~time:(t.clock +. after) f
+
+let step t =
+  match Pqueue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      t.processed <- t.processed + 1;
+      f ();
+      true
+
+let run ?until ?(max_events = 100_000_000) t =
+  let rec loop budget =
+    if budget = 0 then Event_limit
+    else
+      match Pqueue.peek t.queue with
+      | None -> Drained
+      | Some (time, _) -> (
+          match until with
+          | Some horizon when time > horizon ->
+              t.clock <- horizon;
+              Horizon_reached
+          | _ ->
+              ignore (step t);
+              loop (budget - 1))
+  in
+  loop max_events
+
+let pending t = Pqueue.length t.queue
+
+let events_processed t = t.processed

@@ -1,0 +1,42 @@
+(** Deterministic discrete-event simulation engine.
+
+    Time is a [float] in milliseconds (matching the paper's parameter
+    units). Events scheduled for the same instant fire in scheduling order,
+    so a run is fully determined by the seed-driven callbacks. The engine is
+    deliberately minimal: processes are encoded as callbacks that schedule
+    further events. *)
+
+type t
+
+(** Why {!run} returned. *)
+type outcome =
+  | Drained  (** no events left *)
+  | Horizon_reached  (** simulated clock hit [until] *)
+  | Event_limit  (** processed [max_events] events (runaway guard) *)
+
+val create : unit -> t
+
+(** Current simulated time (ms). 0 before any event fires. *)
+val now : t -> float
+
+(** [schedule t ~after f] runs [f ()] at [now t +. after]. Negative delays
+    are clamped to 0 (fire "now", after currently queued same-time
+    events). *)
+val schedule : t -> after:float -> (unit -> unit) -> unit
+
+(** [schedule_at t ~time f]: absolute-time variant; times in the past are
+    clamped to [now]. *)
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+
+(** Run the event loop. [until] bounds the simulated clock;
+    [max_events] (default 100 million) bounds total events processed. *)
+val run : ?until:float -> ?max_events:int -> t -> outcome
+
+(** Process a single event; [false] if the queue is empty. *)
+val step : t -> bool
+
+(** Number of queued events. *)
+val pending : t -> int
+
+(** Total events processed since creation. *)
+val events_processed : t -> int

@@ -1,0 +1,83 @@
+type ('k, 'v) entry = { key : 'k; seq : int; value : 'v }
+
+type ('k, 'v) t = {
+  compare : 'k -> 'k -> int;
+  mutable data : ('k, 'v) entry option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ~compare = { compare; data = Array.make 16 None; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let entry_lt t a b =
+  let c = t.compare a.key b.key in
+  if c <> 0 then c < 0 else a.seq < b.seq
+
+let get t i =
+  match t.data.(i) with
+  | Some e -> e
+  | None -> assert false
+
+let grow t =
+  if t.size = Array.length t.data then begin
+    let data = Array.make (2 * Array.length t.data) None in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt t (get t i) (get t parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && entry_lt t (get t l) (get t !smallest) then smallest := l;
+  if r < t.size && entry_lt t (get t r) (get t !smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t key value =
+  grow t;
+  t.data.(t.size) <- Some { key; seq = t.next_seq; value };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else
+  let e = get t 0 in
+  Some (e.key, e.value)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let e = get t 0 in
+    t.size <- t.size - 1;
+    t.data.(0) <- t.data.(t.size);
+    t.data.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    Some (e.key, e.value)
+  end
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) None;
+  t.size <- 0
+
+let drain t =
+  let rec go acc = match pop t with None -> List.rev acc | Some kv -> go (kv :: acc) in
+  go []

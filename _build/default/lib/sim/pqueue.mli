@@ -1,0 +1,31 @@
+(** Mutable binary min-heap priority queue.
+
+    Used as the simulator's event queue; also exposed for reuse. Keys are
+    compared with the function supplied at creation; ties are broken by
+    insertion order (the queue is stable), which the simulator relies on
+    for deterministic event ordering. *)
+
+type ('k, 'v) t
+
+(** [create ~compare] makes an empty queue ordered by [compare]. *)
+val create : compare:('k -> 'k -> int) -> ('k, 'v) t
+
+(** Number of stored elements. *)
+val length : ('k, 'v) t -> int
+
+val is_empty : ('k, 'v) t -> bool
+
+(** Insert a binding. O(log n). *)
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+
+(** Smallest binding, if any; does not remove. O(1). *)
+val peek : ('k, 'v) t -> ('k * 'v) option
+
+(** Remove and return the smallest binding. O(log n). *)
+val pop : ('k, 'v) t -> ('k * 'v) option
+
+(** Remove all elements. *)
+val clear : ('k, 'v) t -> unit
+
+(** Drain into a sorted list (destructive). *)
+val drain : ('k, 'v) t -> ('k * 'v) list

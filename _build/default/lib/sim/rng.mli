@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every stochastic choice in the simulator draws from an explicit [t] so
+    that simulations are reproducible from a seed, independent of the OCaml
+    runtime's global RNG. SplitMix64 passes BigCrush and supports cheap
+    stream splitting, which we use to give each simulated node an
+    independent stream. *)
+
+type t
+
+(** [create ~seed] makes a generator; equal seeds yield equal streams. *)
+val create : seed:int64 -> t
+
+(** Next raw 64-bit value. *)
+val next_int64 : t -> int64
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Uniform float in [lo, hi). Requires [lo <= hi]. *)
+val uniform : t -> lo:float -> hi:float -> float
+
+(** Uniform int in [0, bound). Requires [bound > 0]. *)
+val int : t -> bound:int -> int
+
+(** Fair coin. *)
+val bool : t -> bool
+
+(** Exponentially distributed float with the given mean (> 0). *)
+val exponential : t -> mean:float -> float
+
+(** [split t] derives an independent generator and advances [t]. *)
+val split : t -> t
+
+(** [pick t l] draws a uniformly random element; raises [Invalid_argument]
+    on the empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** [shuffle t a] permutes the array in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,45 @@
+type t = {
+  enabled : bool;
+  capacity : int option;
+  mutable entries : (float * string) list;  (* newest first *)
+  mutable length : int;
+  mutable hash : int64;
+}
+
+let create ?capacity ~enabled () = { enabled; capacity; entries = []; length = 0; hash = 0xcbf29ce484222325L }
+
+let enabled t = t.enabled
+
+let fnv_prime = 0x100000001b3L
+
+let hash_string h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+let record t ~time msg =
+  if t.enabled then begin
+    let line = msg () in
+    t.hash <- hash_string (hash_string t.hash (Printf.sprintf "%.6f" time)) line;
+    t.entries <- (time, line) :: t.entries;
+    t.length <- t.length + 1;
+    match t.capacity with
+    | Some cap when t.length > cap ->
+        (* Drop the oldest entry; O(n) but traces are bounded and cold. *)
+        t.entries <- List.filteri (fun i _ -> i < cap) t.entries;
+        t.length <- cap
+    | _ -> ()
+  end
+
+let entries t = List.rev t.entries
+
+let length t = t.length
+
+let digest t = t.hash
+
+let pp ppf t =
+  List.iter (fun (time, line) -> Format.fprintf ppf "[%10.3f] %s@." time line) (entries t)

@@ -1,0 +1,32 @@
+(** Lightweight simulation traces.
+
+    A trace records timestamped, pre-rendered entries. Recording is cheap
+    when disabled (the formatter thunk is not forced). Traces serve two
+    purposes: human inspection of protocol runs, and determinism checks
+    (two runs with equal seeds must produce equal {!digest}s). *)
+
+type t
+
+(** [create ~enabled ()] makes a trace; when [capacity] is given, only the
+    last [capacity] entries are retained (ring buffer). *)
+val create : ?capacity:int -> enabled:bool -> unit -> t
+
+val enabled : t -> bool
+
+(** [record t ~time msg] appends an entry; [msg] is forced only when the
+    trace is enabled. *)
+val record : t -> time:float -> (unit -> string) -> unit
+
+(** Entries in chronological order (oldest first). *)
+val entries : t -> (float * string) list
+
+(** Number of retained entries. *)
+val length : t -> int
+
+(** FNV-1a hash over all entries ever recorded (including ones evicted from
+    the ring). Equal runs give equal digests. Recording must be enabled for
+    the digest to be meaningful. *)
+val digest : t -> int64
+
+(** Print entries as ["[%.3f] msg"] lines. *)
+val pp : Format.formatter -> t -> unit

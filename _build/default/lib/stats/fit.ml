@@ -1,0 +1,32 @@
+type result = {
+  a : float;
+  b : float;
+  r2 : float;
+}
+
+let linear_on points =
+  let n = float_of_int (List.length points) in
+  if List.length points < 2 then invalid_arg "Fit: need at least two points";
+  let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0.0 points in
+  let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0.0 points in
+  let sxx = List.fold_left (fun acc (x, _) -> acc +. (x *. x)) 0.0 points in
+  let sxy = List.fold_left (fun acc (x, y) -> acc +. (x *. y)) 0.0 points in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then invalid_arg "Fit: x values are all equal";
+  let a = ((n *. sxy) -. (sx *. sy)) /. denom in
+  let b = (sy -. (a *. sx)) /. n in
+  let mean_y = sy /. n in
+  let ss_tot = List.fold_left (fun acc (_, y) -> acc +. ((y -. mean_y) ** 2.0)) 0.0 points in
+  let ss_res =
+    List.fold_left (fun acc (x, y) -> acc +. ((y -. ((a *. x) +. b)) ** 2.0)) 0.0 points
+  in
+  let r2 = if ss_tot < 1e-12 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+  { a; b; r2 }
+
+let linear points = linear_on points
+
+let logarithmic points =
+  List.iter (fun (x, _) -> if x <= 0.0 then invalid_arg "Fit.logarithmic: x <= 0") points;
+  linear_on (List.map (fun (x, y) -> (log x, y)) points)
+
+let pp ppf { a; b; r2 } = Format.fprintf ppf "a=%.4f b=%.4f r2=%.4f" a b r2

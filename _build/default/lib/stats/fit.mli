@@ -1,0 +1,17 @@
+(** Least-squares curve fitting, used to check the asymptotic claims of the
+    paper: Figure 5's message overhead should fit [a·ln n + b] (logarithmic
+    asymptote), Figure 6's latency factor should fit [a·n + b] (linear). *)
+
+type result = {
+  a : float;  (** slope coefficient *)
+  b : float;  (** intercept *)
+  r2 : float;  (** coefficient of determination in [0, 1] *)
+}
+
+(** Fit [y = a·x + b]. Requires at least two distinct x values. *)
+val linear : (float * float) list -> result
+
+(** Fit [y = a·ln x + b]; all x must be positive. *)
+val logarithmic : (float * float) list -> result
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,56 @@
+type t = {
+  mutable data : float array;
+  mutable size : int;
+  mutable sorted : float array option;  (* cache, invalidated on add *)
+}
+
+let create () = { data = Array.make 64 0.0; size = 0; sorted = None }
+
+let add t x =
+  if t.size = Array.length t.data then begin
+    let data = Array.make (2 * t.size) 0.0 in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  t.sorted <- None
+
+let count t = t.size
+
+let mean t =
+  if t.size = 0 then 0.0
+  else begin
+    let sum = ref 0.0 in
+    for i = 0 to t.size - 1 do
+      sum := !sum +. t.data.(i)
+    done;
+    !sum /. float_of_int t.size
+  end
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+      let a = Array.sub t.data 0 t.size in
+      Array.sort Float.compare a;
+      t.sorted <- Some a;
+      a
+
+let percentile t p =
+  if t.size = 0 then 0.0
+  else begin
+    let a = sorted t in
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = p /. 100.0 *. float_of_int (t.size - 1) in
+    let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+    if lo = hi then a.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+    end
+  end
+
+let median t = percentile t 50.0
+
+let values t = Array.to_list (Array.sub t.data 0 t.size)

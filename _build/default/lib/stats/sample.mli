@@ -1,0 +1,17 @@
+(** Stored samples with order statistics. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+
+(** [percentile t p] with [p] in [0,100], by linear interpolation between
+    closest ranks; 0 when empty. *)
+val percentile : t -> float -> float
+
+val median : t -> float
+
+(** All samples in insertion order. *)
+val values : t -> float list

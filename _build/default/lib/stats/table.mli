@@ -1,0 +1,16 @@
+(** ASCII table and series rendering for the experiment harness. *)
+
+(** [render ~header rows]: fixed-width ASCII table; column widths are
+    computed from the contents. All rows must have the same arity as
+    [header]. *)
+val render : header:string list -> string list list -> string
+
+(** [csv ~header rows]: comma-separated output (naive quoting: fields
+    containing commas or quotes are double-quoted). *)
+val csv : header:string list -> string list list -> string
+
+(** [ascii_plot ~width ~height ~series] plots one or more [(label, points)]
+    series on shared axes using a distinct glyph per series, with a legend.
+    Intended for quick terminal inspection of the figure shapes. *)
+val ascii_plot :
+  ?width:int -> ?height:int -> series:(string * (float * float) list) list -> unit -> string

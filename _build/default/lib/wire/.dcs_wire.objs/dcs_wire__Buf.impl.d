@@ -1,0 +1,1 @@
+lib/wire/buf.ml: Buffer Char List Printf String

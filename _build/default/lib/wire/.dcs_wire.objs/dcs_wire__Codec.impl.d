@@ -1,0 +1,1 @@
+lib/wire/codec.ml: Buf Bytes Char Dcs_hlock Dcs_modes Dcs_naimi Dcs_proto Mode Mode_set Printf String

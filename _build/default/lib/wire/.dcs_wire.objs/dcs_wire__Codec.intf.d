@@ -1,0 +1,1 @@
+lib/wire/codec.mli: Dcs_hlock Dcs_naimi Dcs_proto

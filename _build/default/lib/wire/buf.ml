@@ -1,0 +1,69 @@
+exception Malformed of string
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 64
+
+let contents = Buffer.contents
+
+let u8 w v = Buffer.add_char w (Char.chr (v land 0xff))
+
+let varint w v =
+  if v < 0 then invalid_arg "Buf.varint: negative";
+  let rec go v =
+    if v < 0x80 then u8 w v
+    else begin
+      u8 w (0x80 lor (v land 0x7f));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let bool w b = u8 w (if b then 1 else 0)
+
+let string w s =
+  varint w (String.length s);
+  Buffer.add_string w s
+
+type reader = { data : string; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+
+let at_end r = r.pos >= String.length r.data
+
+let read_u8 r =
+  if r.pos >= String.length r.data then raise (Malformed "truncated u8");
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let read_varint r =
+  let rec go shift acc =
+    if shift > 62 then raise (Malformed "varint too long");
+    let b = read_u8 r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_bool r =
+  match read_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | n -> raise (Malformed (Printf.sprintf "bad bool %d" n))
+
+let read_string r =
+  let len = read_varint r in
+  if r.pos + len > String.length r.data then raise (Malformed "truncated string");
+  let s = String.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let read_list r f =
+  let n = read_varint r in
+  if n > 1_000_000 then raise (Malformed "list too long");
+  List.init n (fun _ -> f r)
+
+let list w f l =
+  varint w (List.length l);
+  List.iter (f w) l

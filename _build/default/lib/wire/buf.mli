@@ -1,0 +1,44 @@
+(** Primitive binary encoding: LEB128 varints, booleans, strings.
+
+    All integers on the wire are non-negative; signed values are mapped by
+    the callers. Decoding raises {!Malformed} on truncated or invalid
+    input — never an out-of-bounds exception. *)
+
+exception Malformed of string
+
+(** {1 Writing} *)
+
+type writer
+
+val writer : unit -> writer
+val contents : writer -> string
+val u8 : writer -> int -> unit
+
+(** Unsigned LEB128; accepts any non-negative OCaml int. Raises
+    [Invalid_argument] on negatives. *)
+val varint : writer -> int -> unit
+
+val bool : writer -> bool -> unit
+
+(** Length-prefixed bytes. *)
+val string : writer -> string -> unit
+
+(** {1 Reading} *)
+
+type reader
+
+val reader : string -> reader
+
+(** True when every byte has been consumed. *)
+val at_end : reader -> bool
+
+val read_u8 : reader -> int
+val read_varint : reader -> int
+val read_bool : reader -> bool
+val read_string : reader -> string
+
+(** [read_list r f] reads a varint count then [count] elements. *)
+val read_list : reader -> (reader -> 'a) -> 'a list
+
+(** [list w f l] writes a varint count then the elements. *)
+val list : writer -> (writer -> 'a -> unit) -> 'a list -> unit

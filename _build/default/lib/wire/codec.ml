@@ -1,0 +1,187 @@
+open Dcs_modes
+module Msg = Dcs_hlock.Msg
+
+type payload =
+  | Hlock of Msg.t
+  | Naimi of Dcs_naimi.Naimi.msg
+
+type envelope = {
+  src : Dcs_proto.Node_id.t;
+  lock : int;
+  payload : payload;
+}
+
+let version = 2  (* v2: request carries a priority *)
+
+let mode w (m : Mode.t) = Buf.u8 w (Mode.index m)
+
+let read_mode r =
+  let i = Buf.read_u8 r in
+  if i < 0 || i > 4 then raise (Buf.Malformed (Printf.sprintf "bad mode %d" i));
+  Mode.of_index i
+
+let mode_opt w = function
+  | None -> Buf.u8 w 255
+  | Some m -> mode w m
+
+let read_mode_opt r =
+  match Buf.read_u8 r with
+  | 255 -> None
+  | i when i >= 0 && i <= 4 -> Some (Mode.of_index i)
+  | i -> raise (Buf.Malformed (Printf.sprintf "bad mode option %d" i))
+
+let mode_set w s = Buf.u8 w (Mode_set.to_bits s)
+
+let read_mode_set r =
+  let bits = Buf.read_u8 r in
+  if bits land lnot 0b11111 <> 0 then raise (Buf.Malformed "bad mode set");
+  Mode_set.of_bits bits
+
+let request w (r : Msg.request) =
+  Buf.varint w r.requester;
+  Buf.varint w r.seq;
+  mode w r.mode;
+  Buf.bool w r.upgrade;
+  Buf.varint w r.timestamp;
+  Buf.varint w r.priority;
+  Buf.varint w r.hops;
+  Buf.bool w r.token_only;
+  Buf.varint w (fst r.hint);
+  Buf.varint w (snd r.hint);
+  Buf.list w (fun w n -> Buf.varint w n) r.path
+
+let read_request r : Msg.request =
+  let requester = Buf.read_varint r in
+  let seq = Buf.read_varint r in
+  let mode = read_mode r in
+  let upgrade = Buf.read_bool r in
+  let timestamp = Buf.read_varint r in
+  let priority = Buf.read_varint r in
+  let hops = Buf.read_varint r in
+  let token_only = Buf.read_bool r in
+  let tenure = Buf.read_varint r in
+  let owner = Buf.read_varint r in
+  let path = Buf.read_list r Buf.read_varint in
+  { requester; seq; mode; upgrade; timestamp; priority; hops; token_only; hint = (tenure, owner); path }
+
+let hlock_msg w (m : Msg.t) =
+  match m with
+  | Msg.Request req ->
+      Buf.u8 w 0;
+      request w req
+  | Msg.Grant { req; epoch; ancestry } ->
+      Buf.u8 w 1;
+      request w req;
+      Buf.varint w epoch;
+      Buf.list w (fun w n -> Buf.varint w n) ancestry
+  | Msg.Token { serving; sender_owned; sender_epoch; queue; frozen } ->
+      Buf.u8 w 2;
+      request w serving;
+      mode_opt w sender_owned;
+      Buf.varint w sender_epoch;
+      Buf.list w request queue;
+      mode_set w frozen
+  | Msg.Release { new_owned; epoch } ->
+      Buf.u8 w 3;
+      mode_opt w new_owned;
+      Buf.varint w epoch
+  | Msg.Freeze { frozen } ->
+      Buf.u8 w 4;
+      mode_set w frozen
+
+let read_hlock_msg r : Msg.t =
+  match Buf.read_u8 r with
+  | 0 -> Msg.Request (read_request r)
+  | 1 ->
+      let req = read_request r in
+      let epoch = Buf.read_varint r in
+      let ancestry = Buf.read_list r Buf.read_varint in
+      Msg.Grant { req; epoch; ancestry }
+  | 2 ->
+      let serving = read_request r in
+      let sender_owned = read_mode_opt r in
+      let sender_epoch = Buf.read_varint r in
+      let queue = Buf.read_list r read_request in
+      let frozen = read_mode_set r in
+      Msg.Token { serving; sender_owned; sender_epoch; queue; frozen }
+  | 3 ->
+      let new_owned = read_mode_opt r in
+      let epoch = Buf.read_varint r in
+      Msg.Release { new_owned; epoch }
+  | 4 -> Msg.Freeze { frozen = read_mode_set r }
+  | t -> raise (Buf.Malformed (Printf.sprintf "bad hlock tag %d" t))
+
+let naimi_msg w (m : Dcs_naimi.Naimi.msg) =
+  match m with
+  | Dcs_naimi.Naimi.Request { requester } ->
+      Buf.u8 w 0;
+      Buf.varint w requester
+  | Dcs_naimi.Naimi.Token -> Buf.u8 w 1
+
+let read_naimi_msg r : Dcs_naimi.Naimi.msg =
+  match Buf.read_u8 r with
+  | 0 -> Dcs_naimi.Naimi.Request { requester = Buf.read_varint r }
+  | 1 -> Dcs_naimi.Naimi.Token
+  | t -> raise (Buf.Malformed (Printf.sprintf "bad naimi tag %d" t))
+
+let encode e =
+  let w = Buf.writer () in
+  Buf.u8 w version;
+  Buf.varint w e.src;
+  Buf.varint w e.lock;
+  (match e.payload with
+  | Hlock m ->
+      Buf.u8 w 0;
+      hlock_msg w m
+  | Naimi m ->
+      Buf.u8 w 1;
+      naimi_msg w m);
+  Buf.contents w
+
+let decode s =
+  let r = Buf.reader s in
+  let v = Buf.read_u8 r in
+  if v <> version then raise (Buf.Malformed (Printf.sprintf "unsupported version %d" v));
+  let src = Buf.read_varint r in
+  let lock = Buf.read_varint r in
+  let payload =
+    match Buf.read_u8 r with
+    | 0 -> Hlock (read_hlock_msg r)
+    | 1 -> Naimi (read_naimi_msg r)
+    | t -> raise (Buf.Malformed (Printf.sprintf "bad payload tag %d" t))
+  in
+  if not (Buf.at_end r) then raise (Buf.Malformed "trailing bytes");
+  { src; lock; payload }
+
+let max_frame = 1 lsl 20
+
+let write_frame oc e =
+  let body = encode e in
+  let len = String.length body in
+  output_char oc (Char.chr ((len lsr 24) land 0xff));
+  output_char oc (Char.chr ((len lsr 16) land 0xff));
+  output_char oc (Char.chr ((len lsr 8) land 0xff));
+  output_char oc (Char.chr (len land 0xff));
+  output_string oc body;
+  flush oc
+
+let read_frame ic =
+  match input_char ic with
+  | exception End_of_file -> None
+  | b0 ->
+      (* Sequence the reads explicitly: tuple components evaluate
+         right-to-left in OCaml, which would scramble the header. *)
+      let next () =
+        try input_char ic with End_of_file -> raise (Buf.Malformed "truncated frame header")
+      in
+      let b1 = next () in
+      let b2 = next () in
+      let b3 = next () in
+      let len =
+        (Char.code b0 lsl 24) lor (Char.code b1 lsl 16) lor (Char.code b2 lsl 8) lor Char.code b3
+      in
+      if len > max_frame then raise (Buf.Malformed "frame too large");
+      let body = Bytes.create len in
+      (try really_input ic body 0 len
+       with End_of_file -> raise (Buf.Malformed "truncated frame body"));
+      Some (decode (Bytes.to_string body))

@@ -1,0 +1,39 @@
+(** Wire format for protocol messages.
+
+    An envelope identifies the sending node and the lock object; the
+    payload is either a hierarchical-protocol message or a Naimi baseline
+    message. Frames are versioned: decoding rejects unknown versions with
+    {!Buf.Malformed}.
+
+    Framing for stream transports is a 4-byte big-endian length prefix
+    followed by the encoded envelope ({!write_frame} / {!read_frame}). *)
+
+type payload =
+  | Hlock of Dcs_hlock.Msg.t
+  | Naimi of Dcs_naimi.Naimi.msg
+
+type envelope = {
+  src : Dcs_proto.Node_id.t;
+  lock : int;
+  payload : payload;
+}
+
+(** Current format version, encoded into every message. *)
+val version : int
+
+val encode : envelope -> string
+
+(** Raises {!Buf.Malformed} on garbage, truncation or version mismatch. *)
+val decode : string -> envelope
+
+(** {1 Stream framing} *)
+
+(** Largest accepted frame (1 MiB); {!read_frame} rejects bigger ones. *)
+val max_frame : int
+
+(** Write one length-prefixed frame. *)
+val write_frame : out_channel -> envelope -> unit
+
+(** Read one frame; [None] on clean end-of-stream at a frame boundary.
+    Raises {!Buf.Malformed} on mid-frame truncation or oversized frames. *)
+val read_frame : in_channel -> envelope option

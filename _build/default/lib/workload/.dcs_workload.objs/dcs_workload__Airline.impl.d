@@ -1,0 +1,1 @@
+lib/workload/airline.ml: Dcs_modes Dcs_sim Mode Printf

@@ -1,0 +1,1 @@
+lib/workload/airline.mli: Dcs_modes Dcs_sim Mode

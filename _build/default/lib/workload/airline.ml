@@ -1,0 +1,56 @@
+open Dcs_modes
+
+type op =
+  | Table_op of { mode : Mode.t; upgrade : bool }
+  | Entry_op of { intent : Mode.t; entry_mode : Mode.t; entry : int }
+
+type config = {
+  entries : int;
+  mix : float * float * float * float * float;
+  upgrade_fraction : float;
+  cs_time : Dcs_sim.Dist.t;
+  idle_time : Dcs_sim.Dist.t;
+  ops_per_node : int;
+}
+
+let default_config =
+  {
+    entries = 10;
+    mix = (0.80, 0.10, 0.04, 0.05, 0.01);
+    upgrade_fraction = 0.5;
+    cs_time = Dcs_sim.Dist.uniform_around 15.0;
+    idle_time = Dcs_sim.Dist.uniform_around 150.0;
+    ops_per_node = 20;
+  }
+
+let sample_class config rng =
+  let wir, wr, wu, wiw, ww = config.mix in
+  let total = wir +. wr +. wu +. wiw +. ww in
+  let x = Dcs_sim.Rng.float rng *. total in
+  if x < wir then Mode.IR
+  else if x < wir +. wr then Mode.R
+  else if x < wir +. wr +. wu then Mode.U
+  else if x < wir +. wr +. wu +. wiw then Mode.IW
+  else Mode.W
+
+let sample_op config rng =
+  match sample_class config rng with
+  | Mode.IR -> Entry_op { intent = Mode.IR; entry_mode = Mode.R; entry = Dcs_sim.Rng.int rng ~bound:config.entries }
+  | Mode.IW -> Entry_op { intent = Mode.IW; entry_mode = Mode.W; entry = Dcs_sim.Rng.int rng ~bound:config.entries }
+  | Mode.R -> Table_op { mode = Mode.R; upgrade = false }
+  | Mode.W -> Table_op { mode = Mode.W; upgrade = false }
+  | Mode.U -> Table_op { mode = Mode.U; upgrade = Dcs_sim.Rng.float rng < config.upgrade_fraction }
+
+let op_modes = function
+  | Table_op { mode; _ } -> [ mode ]
+  | Entry_op { intent; entry_mode; _ } -> [ intent; entry_mode ]
+
+let op_to_string = function
+  | Table_op { mode; upgrade = true } -> Printf.sprintf "%s->W(table)" (Mode.to_string mode)
+  | Table_op { mode; upgrade = false } -> Printf.sprintf "%s(table)" (Mode.to_string mode)
+  | Entry_op { intent; entry_mode; entry } ->
+      Printf.sprintf "%s+%s(entry %d)" (Mode.to_string intent) (Mode.to_string entry_mode) entry
+
+let op_class = function
+  | Table_op { mode; _ } -> mode
+  | Entry_op { intent; _ } -> intent

@@ -1,0 +1,52 @@
+(** The paper's evaluation workload (§4): a multi-airline reservation
+    system. Ticket prices live in a table shared by all nodes; each entry
+    has its own lock and the whole table has a coarser lock.
+
+    Every application request is either a whole-table access (issued with a
+    table-level [R], [U] or [W]) or a single-entry access (issued with an
+    intention mode on the table — [IR] or [IW] — plus [R] or [W] on the
+    entry). The paper's mode mix IR/R/U/IW/W = 80/10/4/5/1 % therefore
+    means: 80 % entry reads, 10 % table reads, 4 % table upgrade-reads,
+    5 % entry writes, 1 % table writes. *)
+
+open Dcs_modes
+
+(** One application-level operation. *)
+type op =
+  | Table_op of { mode : Mode.t; upgrade : bool }
+      (** Whole-table access in [R], [U] or [W]; when [upgrade] is set
+          (only with [U]) the client upgrades to [W] mid-critical-section
+          (Rule 7 exercise). *)
+  | Entry_op of { intent : Mode.t; entry_mode : Mode.t; entry : int }
+      (** Single-entry access: [intent] ([IR]/[IW]) on the table lock, then
+          [entry_mode] ([R]/[W]) on lock of entry [entry]. *)
+
+type config = {
+  entries : int;  (** number of table entries (and entry locks) *)
+  mix : (float * float * float * float * float);
+      (** request-type weights for IR, R, U, IW, W; default .80/.10/.04/.05/.01 *)
+  upgrade_fraction : float;
+      (** fraction of [U] table operations that upgrade to [W] in-CS *)
+  cs_time : Dcs_sim.Dist.t;  (** critical-section length (ms); paper mean 15 *)
+  idle_time : Dcs_sim.Dist.t;  (** inter-request idle time (ms); paper mean 150 *)
+  ops_per_node : int;  (** requests each node issues *)
+}
+
+(** The paper's parameters: 10 entries, 80/10/4/5/1 mix, half of U ops
+    upgrade, CS ~ uniform around 15 ms, idle ~ uniform around 150 ms,
+    20 ops per node. *)
+val default_config : config
+
+(** Draw one operation. *)
+val sample_op : config -> Dcs_sim.Rng.t -> op
+
+(** Modes this operation locks, table first: [Table_op] → one mode,
+    [Entry_op] → intent then entry mode. *)
+val op_modes : op -> Mode.t list
+
+(** Human-readable label, e.g. ["IR+R(entry 3)"] or ["U->W(table)"]. *)
+val op_to_string : op -> string
+
+(** The paper's mode-class of an operation, i.e. which of the five request
+    percentages it was drawn from (IR, R, U, IW or W). *)
+val op_class : op -> Mode.t

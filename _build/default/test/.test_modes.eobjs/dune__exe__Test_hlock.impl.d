@@ -1,0 +1,1 @@
+test/test_hlock.ml: Alcotest Dcs_hlock Dcs_modes Dcs_proto Dcs_sim List Mode Mode_set Option QCheck2 QCheck_alcotest Testkit

@@ -1,0 +1,1 @@
+test/test_mcheck.ml: Alcotest Dcs_hlock Dcs_mcheck Dcs_modes Mode

@@ -1,0 +1,1 @@
+test/test_modes.ml: Alcotest Compat Dcs_modes List Mode Mode_set Option Printf QCheck2 QCheck_alcotest String Testkit

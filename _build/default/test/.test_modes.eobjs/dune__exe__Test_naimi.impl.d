@@ -1,0 +1,1 @@
+test/test_naimi.ml: Alcotest Array Dcs_naimi Dcs_sim List Printf Testkit

@@ -1,0 +1,1 @@
+test/test_naimi.mli:

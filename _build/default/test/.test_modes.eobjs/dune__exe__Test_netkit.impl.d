@@ -1,0 +1,1 @@
+test/test_netkit.ml: Alcotest Array Dcs_modes Dcs_netkit Dcs_proto Dcs_sim Int64 List Mutex Printf String Thread

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Dcs_hlock Dcs_modes Dcs_proto Dcs_runtime Dcs_sim Dcs_workload Experiment Hlock_cluster List Naimi_cluster Net Printf String Topology

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dcs_sim Dist Engine Float Format Int List Pqueue QCheck2 QCheck_alcotest Result Rng Trace

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Dcs_stats Fit Float Histogram List QCheck2 QCheck_alcotest Sample String Summary Table

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Dcs_hlock Dcs_modes Dcs_naimi Dcs_netkit Dcs_wire Mode Mode_set QCheck2 QCheck_alcotest Result String Testkit Unix

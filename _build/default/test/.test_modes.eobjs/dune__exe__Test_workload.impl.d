@@ -1,0 +1,1 @@
+test/test_workload.ml: Airline Alcotest Dcs_modes Dcs_sim Dcs_workload Float Hashtbl Mode Option Testkit

@@ -1,0 +1,191 @@
+(* Shared helpers for the protocol test suites. *)
+
+open Dcs_modes
+
+(* A tiny synchronous cluster for unit-testing the hierarchical protocol:
+   messages go into a global FIFO and are pumped to destinations in order.
+   This gives deterministic, perfectly-FIFO delivery — the simplest legal
+   network — so unit tests can script exact scenarios (the paper's Figures
+   2 and 3). Timing-dependent behaviour is covered separately by the
+   discrete-event simulations. *)
+module Sync_cluster = struct
+  type event =
+    | Granted of { node : int; seq : int; mode : Mode.t }
+    | Upgraded of { node : int; seq : int }
+
+  type t = {
+    mutable nodes : Dcs_hlock.Node.t array;
+    mutable wire : (int * int * Dcs_hlock.Msg.t) list;  (* src, dst, msg *)
+    mutable events : event list;  (* newest first *)
+    mutable sent : int;
+    mutable sent_by_class : (Dcs_proto.Msg_class.t * int) list;
+  }
+
+  let create ?config n =
+    let t =
+      { nodes = [||]; wire = []; events = []; sent = 0; sent_by_class = [] }
+    in
+    let nodes =
+      Array.init n (fun id ->
+          let send ~dst msg =
+            t.sent <- t.sent + 1;
+            let cls = Dcs_hlock.Msg.class_of msg in
+            let count = try List.assoc cls t.sent_by_class with Not_found -> 0 in
+            t.sent_by_class <- (cls, count + 1) :: List.remove_assoc cls t.sent_by_class;
+            t.wire <- t.wire @ [ (id, dst, msg) ]
+          in
+          let on_granted (r : Dcs_hlock.Msg.request) =
+            t.events <- Granted { node = id; seq = r.seq; mode = r.mode } :: t.events
+          in
+          let on_upgraded seq = t.events <- Upgraded { node = id; seq } :: t.events in
+          Dcs_hlock.Node.create ?config ~id ~peers:n ~is_token:(id = 0)
+            ~parent:(if id = 0 then None else Some 0)
+            ~send ~on_granted ~on_upgraded ())
+    in
+    t.nodes <- nodes;
+    t
+
+  let node t i = t.nodes.(i)
+
+  (* Deliver queued messages until quiescent (bounded; raises on runaway). *)
+  let settle ?(limit = 10_000) t =
+    let steps = ref 0 in
+    let rec go () =
+      match t.wire with
+      | [] -> ()
+      | (src, dst, msg) :: rest ->
+          incr steps;
+          if !steps > limit then failwith "Sync_cluster.settle: message storm";
+          t.wire <- rest;
+          Dcs_hlock.Node.handle_msg t.nodes.(dst) ~src msg;
+          go ()
+    in
+    go ()
+
+  (* Deliver exactly one queued message; false when idle. *)
+  let step t =
+    match t.wire with
+    | [] -> false
+    | (src, dst, msg) :: rest ->
+        t.wire <- rest;
+        Dcs_hlock.Node.handle_msg t.nodes.(dst) ~src msg;
+        true
+
+  let drain_events t =
+    let evs = List.rev t.events in
+    t.events <- [];
+    evs
+
+  let messages_sent t = t.sent
+
+  let sent_of_class t cls = try List.assoc cls t.sent_by_class with Not_found -> 0
+
+  let request t ~node ~mode =
+    let seq = Dcs_hlock.Node.request t.nodes.(node) ~mode in
+    seq
+
+  let release t ~node ~seq = Dcs_hlock.Node.release t.nodes.(node) ~seq
+
+  let upgrade t ~node ~seq = Dcs_hlock.Node.upgrade t.nodes.(node) ~seq
+
+  let granted t ~node ~seq =
+    List.exists
+      (function Granted g -> g.node = node && g.seq = seq | Upgraded _ -> false)
+      t.events
+
+  let upgraded t ~node ~seq =
+    List.exists
+      (function Upgraded u -> u.node = node && u.seq = seq | Granted _ -> false)
+      t.events
+
+  (* Request + settle + assert served. Returns the ticket. *)
+  let acquire t ~node ~mode =
+    let seq = request t ~node ~mode in
+    settle t;
+    if not (granted t ~node ~seq) then
+      Alcotest.failf "node %d was not granted %s" node (Mode.to_string mode);
+    seq
+
+  (* Global safety: all held (and cached) modes pairwise compatible. *)
+  let check_compat t =
+    let retained =
+      Array.to_list t.nodes
+      |> List.concat_map (fun e ->
+             List.map (fun (_, m) -> (Dcs_hlock.Node.id e, m)) (Dcs_hlock.Node.held e)
+             @ List.map (fun m -> (Dcs_hlock.Node.id e, m)) (Dcs_hlock.Node.cached e))
+    in
+    let rec pairs = function
+      | [] -> ()
+      | (n1, m1) :: rest ->
+          List.iter
+            (fun (n2, m2) ->
+              if not (Compat.compatible m1 m2) then
+                Alcotest.failf "incompatible retained modes n%d:%s vs n%d:%s" n1
+                  (Mode.to_string m1) n2 (Mode.to_string m2))
+            rest;
+          pairs rest
+    in
+    pairs retained
+
+  let token_holder t =
+    let holders =
+      Array.to_list t.nodes |> List.filter Dcs_hlock.Node.is_token |> List.map Dcs_hlock.Node.id
+    in
+    match holders with
+    | [ h ] -> h
+    | hs -> Alcotest.failf "expected one token holder, found [%s]"
+              (String.concat "," (List.map string_of_int hs))
+end
+
+(* Same idea for the Naimi baseline. *)
+module Sync_naimi = struct
+  type t = {
+    mutable nodes : Dcs_naimi.Naimi.t array;
+    mutable wire : (int * int * Dcs_naimi.Naimi.msg) list;
+    mutable acquired : int list;  (* order of CS entries, oldest first *)
+    mutable sent : int;
+  }
+
+  let create n =
+    let t = { nodes = [||]; wire = []; acquired = []; sent = 0 } in
+    let nodes =
+      Array.init n (fun id ->
+          let send ~dst msg =
+            t.sent <- t.sent + 1;
+            t.wire <- t.wire @ [ (id, dst, msg) ]
+          in
+          let on_acquired () = t.acquired <- t.acquired @ [ id ] in
+          Dcs_naimi.Naimi.create ~id ~is_root:(id = 0)
+            ~father:(if id = 0 then None else Some 0)
+            ~send ~on_acquired ())
+    in
+    t.nodes <- nodes;
+    t
+
+  let node t i = t.nodes.(i)
+
+  let settle ?(limit = 10_000) t =
+    let steps = ref 0 in
+    let rec go () =
+      match t.wire with
+      | [] -> ()
+      | (src, dst, msg) :: rest ->
+          incr steps;
+          if !steps > limit then failwith "Sync_naimi.settle: message storm";
+          t.wire <- rest;
+          Dcs_naimi.Naimi.handle_msg t.nodes.(dst) ~src msg;
+          go ()
+    in
+    go ()
+
+  let in_cs t = Array.to_list t.nodes |> List.filter Dcs_naimi.Naimi.in_cs |> List.map Dcs_naimi.Naimi.id
+end
+
+(* Alcotest testables. *)
+let mode = Alcotest.testable Mode.pp Mode.equal
+let mode_set = Alcotest.testable Mode_set.pp Mode_set.equal
+
+(* QCheck generators. *)
+let gen_mode = QCheck2.Gen.oneofl Mode.all
+
+let gen_mode_opt = QCheck2.Gen.(oneof [ return None; map Option.some gen_mode ])

@@ -1,0 +1,118 @@
+(* Exhaustive small-configuration model checking: every message
+   interleaving of these scenarios must be safe and live. The scenarios are
+   chosen around the historical bug classes (crossing requests, mutual
+   absorption, upgrade deadlock, writer vs readers). *)
+
+module M = Dcs_mcheck.Mcheck
+open Dcs_modes
+
+let checkb = Alcotest.check Alcotest.bool
+
+let run_scenario ?config ~name ~nodes ~actions () =
+  let r = M.explore ?config ~nodes ~actions () in
+  Alcotest.check (Alcotest.list Alcotest.string) (name ^ ": no violations") [] r.M.violations;
+  checkb (name ^ ": explored fully") false r.M.truncated;
+  checkb (name ^ ": nontrivial") true (r.M.states > 0 && r.M.terminals > 0)
+
+let test_two_writers () =
+  run_scenario ~name:"two writers" ~nodes:2
+    ~actions:[ M.Acquire { node = 0; mode = Mode.W }; M.Acquire { node = 1; mode = Mode.W } ]
+    ()
+
+let test_crossing_writers () =
+  run_scenario ~name:"crossing writers (3 nodes)" ~nodes:3
+    ~actions:[ M.Acquire { node = 1; mode = Mode.W }; M.Acquire { node = 2; mode = Mode.W } ]
+    ()
+
+let test_mutual_iw () =
+  (* The mutual-absorption deadlock class. *)
+  run_scenario ~name:"crossing IW" ~nodes:3
+    ~actions:[ M.Acquire { node = 1; mode = Mode.IW }; M.Acquire { node = 2; mode = Mode.IW } ]
+    ()
+
+let test_readers_and_writer () =
+  run_scenario ~name:"reader reader writer" ~nodes:3
+    ~actions:
+      [
+        M.Acquire { node = 1; mode = Mode.R };
+        M.Acquire { node = 2; mode = Mode.R };
+        M.Acquire { node = 0; mode = Mode.W };
+      ]
+    ()
+
+let test_intents_and_read () =
+  run_scenario ~name:"IR IW R" ~nodes:3
+    ~actions:
+      [
+        M.Acquire { node = 1; mode = Mode.IR };
+        M.Acquire { node = 2; mode = Mode.IW };
+        M.Acquire { node = 0; mode = Mode.R };
+      ]
+    ()
+
+let test_upgrade_vs_readers () =
+  (* The upgrade-deadlock class (Rule 7 vs queued requests). *)
+  run_scenario ~name:"upgrade vs reader" ~nodes:3
+    ~actions:[ M.Acquire_upgrade { node = 1 }; M.Acquire { node = 2; mode = Mode.IR } ]
+    ()
+
+let test_two_upgrades () =
+  run_scenario ~name:"two upgrades" ~nodes:3
+    ~actions:[ M.Acquire_upgrade { node = 1 }; M.Acquire_upgrade { node = 2 } ]
+    ()
+
+let test_no_caching_config () =
+  run_scenario
+    ~config:{ Dcs_hlock.Node.default_config with Dcs_hlock.Node.caching = false }
+    ~name:"no caching, crossing writers" ~nodes:3
+    ~actions:[ M.Acquire { node = 1; mode = Mode.W }; M.Acquire { node = 2; mode = Mode.W } ]
+    ()
+
+let test_u_and_w () =
+  run_scenario ~name:"U vs W" ~nodes:3
+    ~actions:[ M.Acquire { node = 1; mode = Mode.U }; M.Acquire { node = 2; mode = Mode.W } ]
+    ()
+
+let run_bounded ?config ~name ~nodes ~actions ~max_states () =
+  let r = M.explore ?config ~nodes ~actions ~max_states () in
+  Alcotest.check (Alcotest.list Alcotest.string) (name ^ ": no violations") [] r.M.violations;
+  checkb (name ^ ": nontrivial") true (r.M.states > 100)
+
+let test_three_writers_deep () =
+  run_bounded ~name:"three crossing writers (bounded)" ~nodes:4
+    ~actions:
+      [
+        M.Acquire { node = 1; mode = Mode.W };
+        M.Acquire { node = 2; mode = Mode.W };
+        M.Acquire { node = 3; mode = Mode.W };
+      ]
+    ~max_states:30_000 ()
+
+let test_mixed_deep () =
+  run_bounded ~name:"IW, upgrade, R (bounded)" ~nodes:4
+    ~actions:
+      [
+        M.Acquire { node = 1; mode = Mode.IW };
+        M.Acquire_upgrade { node = 2 };
+        M.Acquire { node = 3; mode = Mode.R };
+      ]
+    ~max_states:30_000 ()
+
+let () =
+  Alcotest.run "dcs_mcheck"
+    [
+      ( "scenarios",
+        [
+          Alcotest.test_case "two writers" `Quick test_two_writers;
+          Alcotest.test_case "crossing writers" `Slow test_crossing_writers;
+          Alcotest.test_case "crossing IW" `Slow test_mutual_iw;
+          Alcotest.test_case "readers and writer" `Slow test_readers_and_writer;
+          Alcotest.test_case "intents and read" `Slow test_intents_and_read;
+          Alcotest.test_case "upgrade vs readers" `Slow test_upgrade_vs_readers;
+          Alcotest.test_case "two upgrades" `Slow test_two_upgrades;
+          Alcotest.test_case "no caching" `Slow test_no_caching_config;
+          Alcotest.test_case "U vs W" `Slow test_u_and_w;
+          Alcotest.test_case "three writers (bounded)" `Slow test_three_writers_deep;
+          Alcotest.test_case "mixed deep (bounded)" `Slow test_mixed_deep;
+        ] );
+    ]

@@ -1,0 +1,110 @@
+(* Integration tests for the real TCP transport: several runners in one
+   process, talking over loopback sockets. *)
+
+module Runner = Dcs_netkit.Runner
+module Config = Dcs_netkit.Cluster_config
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let base_port = ref 7600
+
+let make_cluster ~nodes ~locks =
+  (* Fresh ports per test to dodge TIME_WAIT. *)
+  base_port := !base_port + 16;
+  let spec =
+    String.concat ","
+      (List.init nodes (fun i -> Printf.sprintf "%d:127.0.0.1:%d" i (!base_port + i)))
+  in
+  let config =
+    match Config.parse ~locks spec with Ok c -> c | Error e -> Alcotest.fail e
+  in
+  let runners = Array.init nodes (fun self -> Runner.create ~config ~self ()) in
+  Array.iter Runner.start runners;
+  Thread.delay 0.15;
+  runners
+
+let stop_all runners = Array.iter Runner.stop runners
+
+let test_remote_grant () =
+  let runners = make_cluster ~nodes:2 ~locks:1 in
+  let seq = Runner.request_sync runners.(1) ~lock:0 ~mode:Dcs_modes.Mode.R in
+  Runner.release runners.(1) ~lock:0 ~seq;
+  let seq0 = Runner.request_sync runners.(0) ~lock:0 ~mode:Dcs_modes.Mode.W in
+  Runner.release runners.(0) ~lock:0 ~seq:seq0;
+  checkb "messages flowed" true (Dcs_proto.Counters.total (Runner.counters runners.(1)) > 0);
+  stop_all runners
+
+let test_writer_mutual_exclusion () =
+  let runners = make_cluster ~nodes:3 ~locks:1 in
+  let in_cs = ref 0 and max_in_cs = ref 0 and m = Mutex.create () in
+  let worker self () =
+    for _ = 1 to 5 do
+      let seq = Runner.request_sync runners.(self) ~lock:0 ~mode:Dcs_modes.Mode.W in
+      Mutex.lock m;
+      incr in_cs;
+      if !in_cs > !max_in_cs then max_in_cs := !in_cs;
+      Mutex.unlock m;
+      Thread.delay 0.002;
+      Mutex.lock m;
+      decr in_cs;
+      Mutex.unlock m;
+      Runner.release runners.(self) ~lock:0 ~seq
+    done
+  in
+  let threads = List.init 3 (fun self -> Thread.create (worker self) ()) in
+  List.iter Thread.join threads;
+  checki "never two writers at once" 1 !max_in_cs;
+  stop_all runners
+
+let test_concurrent_readers_across_processes () =
+  let runners = make_cluster ~nodes:4 ~locks:1 in
+  (* All four take R; they must all be granted while held concurrently. *)
+  let seqs =
+    Array.mapi (fun i r -> (i, Runner.request_sync r ~lock:0 ~mode:Dcs_modes.Mode.R)) runners
+  in
+  Array.iter (fun (i, seq) -> Runner.release runners.(i) ~lock:0 ~seq) seqs;
+  stop_all runners
+
+let test_upgrade_over_tcp () =
+  let runners = make_cluster ~nodes:2 ~locks:1 in
+  let seq = Runner.request_sync runners.(1) ~lock:0 ~mode:Dcs_modes.Mode.U in
+  Runner.upgrade_sync runners.(1) ~lock:0 ~seq;
+  Runner.release runners.(1) ~lock:0 ~seq;
+  stop_all runners
+
+let test_multi_lock_traffic () =
+  let runners = make_cluster ~nodes:3 ~locks:3 in
+  let done_count = ref 0 and m = Mutex.create () in
+  let worker self () =
+    let rng = Dcs_sim.Rng.create ~seed:(Int64.of_int (self + 5)) in
+    for _ = 1 to 10 do
+      let lock = Dcs_sim.Rng.int rng ~bound:3 in
+      let mode =
+        if Dcs_sim.Rng.float rng < 0.7 then Dcs_modes.Mode.R else Dcs_modes.Mode.W
+      in
+      let seq = Runner.request_sync runners.(self) ~lock ~mode in
+      Thread.delay 0.001;
+      Runner.release runners.(self) ~lock ~seq;
+      Mutex.lock m;
+      incr done_count;
+      Mutex.unlock m
+    done
+  in
+  let threads = List.init 3 (fun self -> Thread.create (worker self) ()) in
+  List.iter Thread.join threads;
+  checki "all ops done" 30 !done_count;
+  stop_all runners
+
+let () =
+  Alcotest.run "dcs_netkit"
+    [
+      ( "tcp",
+        [
+          Alcotest.test_case "remote grant" `Slow test_remote_grant;
+          Alcotest.test_case "writer mutual exclusion" `Slow test_writer_mutual_exclusion;
+          Alcotest.test_case "concurrent readers" `Slow test_concurrent_readers_across_processes;
+          Alcotest.test_case "upgrade over tcp" `Slow test_upgrade_over_tcp;
+          Alcotest.test_case "multi-lock traffic" `Slow test_multi_lock_traffic;
+        ] );
+    ]

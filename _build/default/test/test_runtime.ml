@@ -1,0 +1,336 @@
+(* Integration tests: simulated network, clusters with runtime oracles, and
+   the end-to-end experiment drivers. *)
+
+open Dcs_runtime
+module Airline = Dcs_workload.Airline
+module Figures = Dcs_runtime.Figures
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* {1 Net} *)
+
+let test_net_fifo_per_pair () =
+  let engine = Dcs_sim.Engine.create () in
+  let rng = Dcs_sim.Rng.create ~seed:1L in
+  let net = Net.create ~engine ~latency:(Dcs_sim.Dist.uniform_around 100.0) ~rng () in
+  let delivered = ref [] in
+  for i = 1 to 50 do
+    Net.send net ~src:0 ~dst:1 ~cls:Dcs_proto.Msg_class.Request
+      ~describe:(fun () -> "m")
+      (fun () -> delivered := i :: !delivered)
+  done;
+  ignore (Dcs_sim.Engine.run engine);
+  Alcotest.check
+    Alcotest.(list int)
+    "in-order delivery" (List.init 50 (fun i -> i + 1))
+    (List.rev !delivered);
+  checki "in flight drained" 0 (Net.in_flight net);
+  checki "counted" 50 (Dcs_proto.Counters.get (Net.counters net) Dcs_proto.Msg_class.Request)
+
+let test_counters () =
+  let c = Dcs_proto.Counters.create () in
+  Dcs_proto.Counters.incr c Dcs_proto.Msg_class.Request;
+  Dcs_proto.Counters.incr c Dcs_proto.Msg_class.Request;
+  Dcs_proto.Counters.incr c Dcs_proto.Msg_class.Freeze;
+  checki "request" 2 (Dcs_proto.Counters.get c Dcs_proto.Msg_class.Request);
+  checki "total" 3 (Dcs_proto.Counters.total c);
+  let d = Dcs_proto.Counters.create () in
+  Dcs_proto.Counters.incr d Dcs_proto.Msg_class.Freeze;
+  Dcs_proto.Counters.merge_into ~dst:c ~src:d;
+  checki "merged freeze" 2 (Dcs_proto.Counters.get c Dcs_proto.Msg_class.Freeze);
+  Dcs_proto.Counters.reset c;
+  checki "reset" 0 (Dcs_proto.Counters.total c)
+
+(* {1 Simulated hlock cluster} *)
+
+let test_cluster_basic_flow () =
+  let engine = Dcs_sim.Engine.create () in
+  let rng = Dcs_sim.Rng.create ~seed:2L in
+  let net = Net.create ~engine ~latency:(Dcs_sim.Dist.uniform_around 50.0) ~rng () in
+  let cluster = Hlock_cluster.create ~oracle:true ~net ~nodes:4 ~locks:2 () in
+  let got = ref [] in
+  let seq1 =
+    Hlock_cluster.request cluster ~node:1 ~lock:0 ~mode:Dcs_modes.Mode.R ~on_granted:(fun () ->
+        got := 1 :: !got)
+  in
+  let seq2 =
+    Hlock_cluster.request cluster ~node:2 ~lock:1 ~mode:Dcs_modes.Mode.W ~on_granted:(fun () ->
+        got := 2 :: !got)
+  in
+  ignore (Dcs_sim.Engine.run engine);
+  checkb "both granted" true (List.mem 1 !got && List.mem 2 !got);
+  Hlock_cluster.release cluster ~node:1 ~lock:0 ~seq:seq1;
+  Hlock_cluster.release cluster ~node:2 ~lock:1 ~seq:seq2;
+  ignore (Dcs_sim.Engine.run engine);
+  Alcotest.check Alcotest.(list string) "quiescent" [] (Hlock_cluster.quiescent_violations cluster)
+
+(* Randomized end-to-end simulation with the full oracle, over several
+   seeds. This is the main confidence test for the protocol under
+   asynchrony (message crossings, token movement, freezes, caching). *)
+let sim_stress ~seed ~nodes ~locks ~ops_per_node () =
+  let engine = Dcs_sim.Engine.create () in
+  let rng = Dcs_sim.Rng.create ~seed in
+  let net = Net.create ~engine ~latency:(Dcs_sim.Dist.uniform_around 30.0) ~rng () in
+  let cluster = Hlock_cluster.create ~oracle:true ~net ~nodes ~locks () in
+  let completed = ref 0 in
+  let expected = nodes * ops_per_node in
+  for node = 0 to nodes - 1 do
+    let nrng = Dcs_sim.Rng.split rng in
+    let remaining = ref ops_per_node in
+    let rec idle () =
+      if !remaining > 0 then
+        Dcs_sim.Engine.schedule engine ~after:(Dcs_sim.Rng.uniform nrng ~lo:1.0 ~hi:80.0) start
+    and start () =
+      let lock = Dcs_sim.Rng.int nrng ~bound:locks in
+      let mode = Dcs_sim.Rng.pick nrng Dcs_modes.Mode.all in
+      let seq = ref (-1) in
+      seq :=
+        Hlock_cluster.request cluster ~node ~lock ~mode ~on_granted:(fun () ->
+            Dcs_sim.Engine.schedule engine ~after:(Dcs_sim.Rng.uniform nrng ~lo:0.5 ~hi:8.0)
+              (fun () ->
+                (* Occasionally exercise Rule 7. *)
+                if Dcs_modes.Mode.equal mode Dcs_modes.Mode.U && Dcs_sim.Rng.bool nrng then
+                  Hlock_cluster.upgrade cluster ~node ~lock ~seq:!seq ~on_upgraded:(fun () ->
+                      Dcs_sim.Engine.schedule engine ~after:2.0 (fun () ->
+                          Hlock_cluster.release cluster ~node ~lock ~seq:!seq;
+                          incr completed;
+                          decr remaining;
+                          idle ()))
+                else begin
+                  Hlock_cluster.release cluster ~node ~lock ~seq:!seq;
+                  incr completed;
+                  decr remaining;
+                  idle ()
+                end))
+    in
+    idle ()
+  done;
+  (match Dcs_sim.Engine.run ~max_events:10_000_000 engine with
+  | Dcs_sim.Engine.Drained -> ()
+  | _ -> Alcotest.fail "engine did not drain");
+  checki "all ops completed (liveness)" expected !completed;
+  Alcotest.check Alcotest.(list string) "quiescent" [] (Hlock_cluster.quiescent_violations cluster)
+
+(* Heavy-tailed latency maximizes cross-pair reordering: the adversarial
+   delivery schedule for the epoch/custody machinery. *)
+let test_sim_stress_heavy_tail () =
+  let engine = Dcs_sim.Engine.create () in
+  let rng = Dcs_sim.Rng.create ~seed:31L in
+  let net =
+    Net.create ~engine ~latency:(Dcs_sim.Dist.Exponential { mean = 40.0 }) ~rng ()
+  in
+  let cluster = Hlock_cluster.create ~oracle:true ~net ~nodes:12 ~locks:3 () in
+  let completed = ref 0 in
+  for node = 0 to 11 do
+    let nrng = Dcs_sim.Rng.split rng in
+    let remaining = ref 10 in
+    let rec idle () =
+      if !remaining > 0 then
+        Dcs_sim.Engine.schedule engine ~after:(Dcs_sim.Rng.exponential nrng ~mean:30.0) start
+    and start () =
+      let lock = Dcs_sim.Rng.int nrng ~bound:3 in
+      let mode = Dcs_sim.Rng.pick nrng Dcs_modes.Mode.all in
+      let seq = ref (-1) in
+      seq :=
+        Hlock_cluster.request cluster ~node ~lock ~mode ~on_granted:(fun () ->
+            Dcs_sim.Engine.schedule engine ~after:2.0 (fun () ->
+                Hlock_cluster.release cluster ~node ~lock ~seq:!seq;
+                incr completed;
+                decr remaining;
+                idle ()))
+    in
+    idle ()
+  done;
+  ignore (Dcs_sim.Engine.run ~max_events:10_000_000 engine);
+  checki "heavy-tail liveness" 120 !completed;
+  Alcotest.check Alcotest.(list string) "quiescent" [] (Hlock_cluster.quiescent_violations cluster)
+
+let test_sim_stress_seeds () =
+  List.iter (fun seed -> sim_stress ~seed ~nodes:10 ~locks:3 ~ops_per_node:12 ()) [ 3L; 17L; 101L; 4242L ]
+
+let test_sim_stress_bigger () = sim_stress ~seed:7L ~nodes:24 ~locks:5 ~ops_per_node:10 ()
+
+let test_sim_stress_ablations () =
+  List.iter
+    (fun config ->
+      let engine = Dcs_sim.Engine.create () in
+      let rng = Dcs_sim.Rng.create ~seed:5L in
+      let net = Net.create ~engine ~latency:(Dcs_sim.Dist.uniform_around 25.0) ~rng () in
+      let cluster = Hlock_cluster.create ~config ~oracle:true ~net ~nodes:8 ~locks:2 () in
+      let completed = ref 0 in
+      for node = 0 to 7 do
+        let nrng = Dcs_sim.Rng.split rng in
+        let remaining = ref 8 in
+        let rec idle () =
+          if !remaining > 0 then
+            Dcs_sim.Engine.schedule engine ~after:(Dcs_sim.Rng.uniform nrng ~lo:1.0 ~hi:50.0) start
+        and start () =
+          let lock = Dcs_sim.Rng.int nrng ~bound:2 in
+          let mode = Dcs_sim.Rng.pick nrng Dcs_modes.Mode.all in
+          let seq = ref (-1) in
+          seq :=
+            Hlock_cluster.request cluster ~node ~lock ~mode ~on_granted:(fun () ->
+                Dcs_sim.Engine.schedule engine ~after:2.0 (fun () ->
+                    Hlock_cluster.release cluster ~node ~lock ~seq:!seq;
+                    incr completed;
+                    decr remaining;
+                    idle ()))
+        in
+        idle ()
+      done;
+      ignore (Dcs_sim.Engine.run ~max_events:10_000_000 engine);
+      checki "ablation liveness" 64 !completed)
+    [
+      { Dcs_hlock.Node.default_config with Dcs_hlock.Node.caching = false };
+      { Dcs_hlock.Node.default_config with Dcs_hlock.Node.freezing = false };
+      { Dcs_hlock.Node.default_config with Dcs_hlock.Node.eager_release = true };
+      { Dcs_hlock.Node.default_config with Dcs_hlock.Node.grant_edges = false };
+      { Dcs_hlock.Node.default_config with Dcs_hlock.Node.reverse_all = true };
+    ]
+
+(* {1 Experiment drivers} *)
+
+let test_experiments_small () =
+  List.iter
+    (fun driver ->
+      let cfg = Experiment.default_config ~driver ~nodes:6 in
+      let cfg = { cfg with Experiment.oracle = true } in
+      let r = Experiment.run cfg in
+      checki "all ops" (6 * cfg.Experiment.workload.Airline.ops_per_node) r.Experiment.ops;
+      checkb "messages flowed" true (r.Experiment.total_messages > 0);
+      checkb "latency sane" true (r.Experiment.mean_latency_ms >= 0.0))
+    Experiment.[ Hierarchical; Naimi_same_work; Naimi_pure ]
+
+let test_experiment_determinism () =
+  let run () =
+    let cfg = Experiment.default_config ~driver:Experiment.Hierarchical ~nodes:8 in
+    Experiment.run cfg
+  in
+  let a = run () and b = run () in
+  checki "same messages" a.Experiment.total_messages b.Experiment.total_messages;
+  Alcotest.check (Alcotest.float 1e-9) "same latency" a.Experiment.mean_latency_ms
+    b.Experiment.mean_latency_ms;
+  let c =
+    Experiment.run
+      { (Experiment.default_config ~driver:Experiment.Hierarchical ~nodes:8) with Experiment.seed = 43L }
+  in
+  checkb "different seed differs" true (c.Experiment.total_messages <> a.Experiment.total_messages)
+
+(* The paper's qualitative claims, at a size where they are robust:
+   hierarchical locking beats Naimi-same-work on latency, and costs no more
+   messages per lock request than Naimi-pure. *)
+let test_paper_relationships () =
+  let run driver =
+    Experiment.run (Experiment.default_config ~driver ~nodes:32)
+  in
+  let ours = run Experiment.Hierarchical in
+  let same = run Experiment.Naimi_same_work in
+  let pure = run Experiment.Naimi_pure in
+  checkb
+    (Printf.sprintf "latency: ours %.1f < same-work %.1f" ours.Experiment.latency_factor
+       same.Experiment.latency_factor)
+    true
+    (ours.Experiment.latency_factor < same.Experiment.latency_factor);
+  checkb
+    (Printf.sprintf "messages/lockreq: ours %.2f <= pure %.2f + 20%%"
+       ours.Experiment.msgs_per_lock_request pure.Experiment.msgs_per_lock_request)
+    true
+    (ours.Experiment.msgs_per_lock_request <= pure.Experiment.msgs_per_lock_request *. 1.2)
+
+let test_result_rows () =
+  let r = Experiment.run (Experiment.default_config ~driver:Experiment.Naimi_pure ~nodes:4) in
+  checki "row arity" (List.length Experiment.row_header) (List.length (Experiment.result_row r))
+
+(* {1 Topology} *)
+
+let test_topology_factors () =
+  let open Dcs_sim in
+  Alcotest.check (Alcotest.float 1e-9) "uniform" 1.0 (Topology.factor Topology.uniform ~src:0 ~dst:5);
+  let racks = Topology.racks ~rack_size:4 ~remote_factor:3.0 in
+  Alcotest.check (Alcotest.float 1e-9) "same rack" 1.0 (Topology.factor racks ~src:1 ~dst:3);
+  Alcotest.check (Alcotest.float 1e-9) "cross rack" 3.0 (Topology.factor racks ~src:1 ~dst:4);
+  let star = Topology.star ~hub:0 ~spoke_factor:2.0 in
+  Alcotest.check (Alcotest.float 1e-9) "to hub" 1.0 (Topology.factor star ~src:3 ~dst:0);
+  Alcotest.check (Alcotest.float 1e-9) "spoke to spoke" 2.0 (Topology.factor star ~src:3 ~dst:4);
+  checkb "bad rack size" true
+    (try ignore (Topology.racks ~rack_size:0 ~remote_factor:2.0); false
+     with Invalid_argument _ -> true)
+
+let test_topology_slows_latency () =
+  let run topology =
+    let cfg = Experiment.default_config ~driver:Experiment.Hierarchical ~nodes:12 in
+    (Experiment.run { cfg with Experiment.topology }).Experiment.mean_latency_ms
+  in
+  let uniform = run Dcs_sim.Topology.uniform in
+  let racked = run (Dcs_sim.Topology.racks ~rack_size:6 ~remote_factor:8.0) in
+  checkb
+    (Printf.sprintf "racked (%.0f ms) slower than uniform (%.0f ms)" racked uniform)
+    true (racked > uniform)
+
+(* {1 Figures harness} *)
+
+let test_figures_quick () =
+  let nodes = [ 2; 4 ] in
+  let series, report = Figures.fig5 ~nodes () in
+  checkb "three drivers" true (List.length series = 3);
+  checkb "two points each" true
+    (List.for_all (fun s -> List.length s.Figures.points = 2) series);
+  checkb "report has a table" true (String.length report > 200);
+  let csv = Figures.to_csv series in
+  checkb "csv rows" true (List.length (String.split_on_char '\n' csv) >= 7);
+  let _, fig7 = Figures.fig7 ~nodes () in
+  checkb "fig7 rendered" true (String.length fig7 > 100);
+  checkb "tables rendered" true (String.length (Figures.tables ()) > 400)
+
+(* {1 Naimi cluster oracle} *)
+
+let test_naimi_cluster_quiescent () =
+  let engine = Dcs_sim.Engine.create () in
+  let rng = Dcs_sim.Rng.create ~seed:9L in
+  let net = Net.create ~engine ~latency:(Dcs_sim.Dist.uniform_around 20.0) ~rng () in
+  let cluster = Naimi_cluster.create ~oracle:true ~net ~nodes:5 ~locks:2 () in
+  let order = ref [] in
+  for node = 0 to 4 do
+    Naimi_cluster.request cluster ~node ~lock:0 ~on_acquired:(fun () ->
+        order := node :: !order;
+        Dcs_sim.Engine.schedule engine ~after:5.0 (fun () ->
+            Naimi_cluster.release cluster ~node ~lock:0))
+  done;
+  ignore (Dcs_sim.Engine.run engine);
+  checki "all five entered" 5 (List.length !order);
+  Alcotest.check Alcotest.(list string) "quiescent" [] (Naimi_cluster.quiescent_violations cluster)
+
+let () =
+  Alcotest.run "dcs_runtime"
+    [
+      ( "net",
+        [
+          Alcotest.test_case "fifo per pair" `Quick test_net_fifo_per_pair;
+          Alcotest.test_case "counters" `Quick test_counters;
+        ] );
+      ( "hlock-cluster",
+        [
+          Alcotest.test_case "basic flow" `Quick test_cluster_basic_flow;
+          Alcotest.test_case "stress seeds" `Slow test_sim_stress_seeds;
+          Alcotest.test_case "heavy-tail latency" `Slow test_sim_stress_heavy_tail;
+          Alcotest.test_case "stress bigger" `Slow test_sim_stress_bigger;
+          Alcotest.test_case "stress ablations" `Slow test_sim_stress_ablations;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "all drivers small" `Slow test_experiments_small;
+          Alcotest.test_case "determinism" `Slow test_experiment_determinism;
+          Alcotest.test_case "paper relationships" `Slow test_paper_relationships;
+          Alcotest.test_case "result rows" `Quick test_result_rows;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "factors" `Quick test_topology_factors;
+          Alcotest.test_case "slows latency" `Slow test_topology_slows_latency;
+        ] );
+      ( "figures",
+        [ Alcotest.test_case "quick harness" `Slow test_figures_quick ] );
+      ( "naimi-cluster",
+        [ Alcotest.test_case "quiescent" `Quick test_naimi_cluster_quiescent ] );
+    ]

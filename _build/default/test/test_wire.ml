@@ -1,0 +1,191 @@
+(* Codec tests: roundtrips for every message kind and rejection of
+   malformed input. *)
+
+open Dcs_modes
+module Msg = Dcs_hlock.Msg
+module Codec = Dcs_wire.Codec
+module Buf = Dcs_wire.Buf
+module Q = QCheck2
+
+let checkb = Alcotest.check Alcotest.bool
+
+let gen_request =
+  Q.Gen.(
+    let* requester = int_bound 200 in
+    let* seq = int_bound 10_000 in
+    let* mode = Testkit.gen_mode in
+    let* upgrade = bool in
+    let* timestamp = int_bound 1_000_000 in
+    let* priority = int_bound 9 in
+    let* hops = int_bound 300 in
+    let* token_only = bool in
+    let* tenure = int_bound 100_000 in
+    let* owner = int_bound 200 in
+    let* path = list_size (int_bound 20) (int_bound 200) in
+    return
+      {
+        Msg.requester;
+        seq;
+        mode;
+        upgrade;
+        timestamp;
+        priority;
+        hops;
+        token_only;
+        hint = (tenure, owner);
+        path;
+      })
+
+let gen_mode_set = Q.Gen.(map Mode_set.of_list (list_size (int_bound 5) Testkit.gen_mode))
+
+let gen_hlock_msg =
+  Q.Gen.(
+    oneof
+      [
+        map (fun r -> Msg.Request r) gen_request;
+        (let* req = gen_request in
+         let* epoch = int_bound 100_000 in
+         let* ancestry = list_size (int_bound 10) (int_bound 200) in
+         return (Msg.Grant { req; epoch; ancestry }));
+        (let* serving = gen_request in
+         let* sender_owned = Testkit.gen_mode_opt in
+         let* sender_epoch = int_bound 100_000 in
+         let* queue = list_size (int_bound 8) gen_request in
+         let* frozen = gen_mode_set in
+         return (Msg.Token { serving; sender_owned; sender_epoch; queue; frozen }));
+        (let* new_owned = Testkit.gen_mode_opt in
+         let* epoch = int_bound 100_000 in
+         return (Msg.Release { new_owned; epoch }));
+        map (fun frozen -> Msg.Freeze { frozen }) gen_mode_set;
+      ])
+
+let gen_envelope =
+  Q.Gen.(
+    let* src = int_bound 200 in
+    let* lock = int_bound 50 in
+    let* payload =
+      oneof
+        [
+          map (fun m -> Codec.Hlock m) gen_hlock_msg;
+          oneofl
+            [
+              Codec.Naimi (Dcs_naimi.Naimi.Request { requester = 3 });
+              Codec.Naimi Dcs_naimi.Naimi.Token;
+            ];
+        ]
+    in
+    return { Codec.src; lock; payload })
+
+let prop_roundtrip =
+  Q.Test.make ~name:"encode/decode roundtrip" ~count:2000 gen_envelope (fun env ->
+      Codec.decode (Codec.encode env) = env)
+
+let prop_truncation_rejected =
+  Q.Test.make ~name:"truncated input raises Malformed" ~count:500 gen_envelope (fun env ->
+      let s = Codec.encode env in
+      if String.length s < 2 then true
+      else
+        let cut = String.sub s 0 (String.length s - 1) in
+        match Codec.decode cut with
+        | _ -> false
+        | exception Buf.Malformed _ -> true)
+
+let prop_trailing_rejected =
+  Q.Test.make ~name:"trailing bytes raise Malformed" ~count:500 gen_envelope (fun env ->
+      let s = Codec.encode env ^ "\x00" in
+      match Codec.decode s with
+      | _ -> false
+      | exception Buf.Malformed _ -> true)
+
+let test_version_rejected () =
+  let s = Codec.encode { Codec.src = 0; lock = 0; payload = Codec.Naimi Dcs_naimi.Naimi.Token } in
+  let bad = "\xff" ^ String.sub s 1 (String.length s - 1) in
+  checkb "bad version" true
+    (match Codec.decode bad with _ -> false | exception Buf.Malformed _ -> true)
+
+let prop_varint_roundtrip =
+  Q.Test.make ~name:"varint roundtrip" ~count:1000
+    Q.Gen.(int_bound max_int)
+    (fun v ->
+      let w = Buf.writer () in
+      Buf.varint w v;
+      let r = Buf.reader (Buf.contents w) in
+      Buf.read_varint r = v && Buf.at_end r)
+
+let test_varint_negative () =
+  let w = Buf.writer () in
+  Alcotest.check_raises "negative" (Invalid_argument "Buf.varint: negative") (fun () ->
+      Buf.varint w (-1))
+
+let prop_string_roundtrip =
+  Q.Test.make ~name:"string roundtrip" ~count:500 Q.Gen.string (fun s ->
+      let w = Buf.writer () in
+      Buf.string w s;
+      Buf.read_string (Buf.reader (Buf.contents w)) = s)
+
+let test_frame_roundtrip () =
+  (* Through a real pipe. *)
+  let env =
+    {
+      Codec.src = 7;
+      lock = 3;
+      payload =
+        Codec.Hlock
+          (Msg.Request
+             {
+               Msg.requester = 7;
+               seq = 1;
+               mode = Mode.IW;
+               upgrade = false;
+               timestamp = 5;
+               priority = 0;
+               hops = 2;
+               token_only = false;
+               hint = (9, 4);
+               path = [ 7; 3 ];
+             });
+    }
+  in
+  let rd, wr = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr wr and ic = Unix.in_channel_of_descr rd in
+  Codec.write_frame oc env;
+  close_out oc;
+  (match Codec.read_frame ic with
+  | Some got -> checkb "same envelope" true (got = env)
+  | None -> Alcotest.fail "no frame");
+  checkb "clean eof" true (Codec.read_frame ic = None);
+  close_in ic
+
+let test_cluster_config () =
+  (match Dcs_netkit.Cluster_config.parse ~locks:2 "0:127.0.0.1:7001,1:127.0.0.1:7002" with
+  | Ok c ->
+      Alcotest.check Alcotest.int "size" 2 (Dcs_netkit.Cluster_config.size c);
+      Alcotest.check Alcotest.string "roundtrip" "0:127.0.0.1:7001,1:127.0.0.1:7002"
+        (Dcs_netkit.Cluster_config.to_string c)
+  | Error e -> Alcotest.fail e);
+  checkb "sparse ids rejected" true
+    (Result.is_error (Dcs_netkit.Cluster_config.parse ~locks:1 "0:h:1,2:h:2"));
+  checkb "garbage rejected" true (Result.is_error (Dcs_netkit.Cluster_config.parse ~locks:1 "x"));
+  checkb "no locks rejected" true
+    (Result.is_error (Dcs_netkit.Cluster_config.parse ~locks:0 "0:h:1"))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "dcs_wire"
+    [
+      ( "codec",
+        [
+          qt prop_roundtrip;
+          qt prop_truncation_rejected;
+          qt prop_trailing_rejected;
+          Alcotest.test_case "version rejected" `Quick test_version_rejected;
+          Alcotest.test_case "frame via pipe" `Quick test_frame_roundtrip;
+        ] );
+      ( "buf",
+        [
+          qt prop_varint_roundtrip;
+          Alcotest.test_case "negative varint" `Quick test_varint_negative;
+          qt prop_string_roundtrip;
+        ] );
+      ("config", [ Alcotest.test_case "cluster config" `Quick test_cluster_config ]);
+    ]

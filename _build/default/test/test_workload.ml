@@ -1,0 +1,89 @@
+(* Tests for the airline workload generator (paper §4 parameters). *)
+
+open Dcs_modes
+open Dcs_workload
+
+let checkb = Alcotest.check Alcotest.bool
+
+let test_default_matches_paper () =
+  let c = Airline.default_config in
+  let wir, wr, wu, wiw, ww = c.Airline.mix in
+  Alcotest.check (Alcotest.float 1e-9) "IR 80%" 0.80 wir;
+  Alcotest.check (Alcotest.float 1e-9) "R 10%" 0.10 wr;
+  Alcotest.check (Alcotest.float 1e-9) "U 4%" 0.04 wu;
+  Alcotest.check (Alcotest.float 1e-9) "IW 5%" 0.05 wiw;
+  Alcotest.check (Alcotest.float 1e-9) "W 1%" 0.01 ww;
+  Alcotest.check (Alcotest.float 1e-9) "CS mean 15ms" 15.0 (Dcs_sim.Dist.mean c.Airline.cs_time);
+  Alcotest.check (Alcotest.float 1e-9) "idle mean 150ms" 150.0 (Dcs_sim.Dist.mean c.Airline.idle_time)
+
+let test_mix_statistics () =
+  let c = Airline.default_config in
+  let rng = Dcs_sim.Rng.create ~seed:11L in
+  let counts = Hashtbl.create 5 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let cls = Airline.op_class (Airline.sample_op c rng) in
+    Hashtbl.replace counts cls (1 + Option.value ~default:0 (Hashtbl.find_opt counts cls))
+  done;
+  let frac m = float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts m)) /. float_of_int n in
+  checkb "IR ~80%" true (Float.abs (frac Mode.IR -. 0.80) < 0.01);
+  checkb "R ~10%" true (Float.abs (frac Mode.R -. 0.10) < 0.01);
+  checkb "U ~4%" true (Float.abs (frac Mode.U -. 0.04) < 0.005);
+  checkb "IW ~5%" true (Float.abs (frac Mode.IW -. 0.05) < 0.005);
+  checkb "W ~1%" true (Float.abs (frac Mode.W -. 0.01) < 0.003)
+
+let test_op_shapes () =
+  let c = Airline.default_config in
+  let rng = Dcs_sim.Rng.create ~seed:3L in
+  for _ = 1 to 10_000 do
+    match Airline.sample_op c rng with
+    | Airline.Entry_op { intent; entry_mode; entry } ->
+        checkb "entry bounds" true (entry >= 0 && entry < c.Airline.entries);
+        (match (intent, entry_mode) with
+        | Mode.IR, Mode.R | Mode.IW, Mode.W -> ()
+        | _ -> Alcotest.fail "entry op must be IR+R or IW+W")
+    | Airline.Table_op { mode; upgrade } -> (
+        match mode with
+        | Mode.R | Mode.W -> checkb "only U upgrades" false upgrade
+        | Mode.U -> ()
+        | Mode.IR | Mode.IW -> Alcotest.fail "table ops use R/U/W")
+  done
+
+let test_upgrade_fraction () =
+  let c = { Airline.default_config with Airline.mix = (0., 0., 1., 0., 0.); upgrade_fraction = 0.5 } in
+  let rng = Dcs_sim.Rng.create ~seed:4L in
+  let ups = ref 0 and n = 20_000 in
+  for _ = 1 to n do
+    match Airline.sample_op c rng with
+    | Airline.Table_op { upgrade = true; _ } -> incr ups
+    | _ -> ()
+  done;
+  let frac = float_of_int !ups /. float_of_int n in
+  checkb "~half upgrade" true (Float.abs (frac -. 0.5) < 0.02)
+
+let test_op_modes_and_labels () =
+  Alcotest.check
+    (Alcotest.list Testkit.mode)
+    "entry op modes" [ Mode.IW; Mode.W ]
+    (Airline.op_modes (Airline.Entry_op { intent = Mode.IW; entry_mode = Mode.W; entry = 3 }));
+  Alcotest.check
+    (Alcotest.list Testkit.mode)
+    "table op modes" [ Mode.U ]
+    (Airline.op_modes (Airline.Table_op { mode = Mode.U; upgrade = true }));
+  Alcotest.check Alcotest.string "label" "IW+W(entry 3)"
+    (Airline.op_to_string (Airline.Entry_op { intent = Mode.IW; entry_mode = Mode.W; entry = 3 }));
+  Alcotest.check Alcotest.string "upgrade label" "U->W(table)"
+    (Airline.op_to_string (Airline.Table_op { mode = Mode.U; upgrade = true }))
+
+let () =
+  Alcotest.run "dcs_workload"
+    [
+      ( "airline",
+        [
+          Alcotest.test_case "paper defaults" `Quick test_default_matches_paper;
+          Alcotest.test_case "mix statistics" `Slow test_mix_statistics;
+          Alcotest.test_case "op shapes" `Quick test_op_shapes;
+          Alcotest.test_case "upgrade fraction" `Quick test_upgrade_fraction;
+          Alcotest.test_case "modes and labels" `Quick test_op_modes_and_labels;
+        ] );
+    ]
