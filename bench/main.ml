@@ -106,6 +106,22 @@ let bench_naimi_roundtrip =
           done;
           ignore (Dcs_sim.Engine.run engine)))
 
+(* 100 messages through the reliable-delivery shim over a clean 1 ms
+   link: the per-message cost of the seq/ack/dedup machinery alone. *)
+let bench_reliable_shim =
+  Test.make ~name:"reliable shim 100 msgs"
+    (Staged.stage (fun () ->
+         let engine = Dcs_sim.Engine.create () in
+         let below ~src:_ ~dst:_ ~cls:_ ~describe:_ k =
+           Dcs_sim.Engine.schedule engine ~after:1.0 k
+         in
+         let shim = Dcs_fault.Reliable.create ~engine ~below () in
+         for _ = 1 to 100 do
+           Dcs_fault.Reliable.send shim ~src:0 ~dst:1 ~cls:Dcs_proto.Msg_class.Request
+             ~describe:(fun () -> "bench") (fun () -> ())
+         done;
+         ignore (Dcs_sim.Engine.run engine)))
+
 let run_microbenches () =
   let tests =
     Test.make_grouped ~name:"dcs"
@@ -118,6 +134,7 @@ let run_microbenches () =
         bench_engine;
         bench_hlock_roundtrip;
         bench_naimi_roundtrip;
+        bench_reliable_shim;
       ]
   in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 10) () in

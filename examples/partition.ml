@@ -1,0 +1,49 @@
+(* Fault tolerance in action: the airline workload rides out a network
+   partition that splits the cluster in half and then heals.
+
+   While the cut is up, cross-partition messages are buffered; on heal
+   they flush in FIFO order and the protocol simply continues — the
+   periodic audit observes a single token and compatible modes the whole
+   way through, at the price of latency during the outage. A second run
+   with the same seed reproduces the identical event trace (digest).
+
+   Run with:  dune exec examples/partition.exe *)
+
+let base_config () =
+  let cfg = Core.Experiment.default_config ~driver:Core.Experiment.Hierarchical ~nodes:16 in
+  {
+    cfg with
+    Core.Experiment.seed = 7L;
+    workload = { cfg.Core.Experiment.workload with Core.Airline.ops_per_node = 30 };
+  }
+
+let run ?chaos () =
+  let cfg = { (base_config ()) with Core.Experiment.chaos } in
+  let trace = Core.Trace.create ~capacity:64 ~enabled:true () in
+  let result = Core.Experiment.run ~trace cfg in
+  (result, Core.Trace.digest trace)
+
+let () =
+  let healthy, _ = run () in
+  let horizon = Core.Experiment.horizon_estimate (base_config ()) in
+  let plan =
+    match Core.Fault_plan.named ~nodes:16 ~horizon "heal-partition" with
+    | Some p -> p
+    | None -> assert false
+  in
+  Printf.printf "Fault plan:\n%s\n" (Core.Fault_plan.to_string plan);
+  let partitioned, digest = run ~chaos:(Core.Experiment.chaos plan) () in
+  let report = Option.get partitioned.Core.Experiment.chaos_report in
+  Printf.printf "Healthy run:     mean latency %7.1f ms, p95 %7.1f ms\n"
+    healthy.Core.Experiment.mean_latency_ms healthy.Core.Experiment.p95_latency_ms;
+  Printf.printf "Partitioned run: mean latency %7.1f ms, p95 %7.1f ms\n"
+    partitioned.Core.Experiment.mean_latency_ms partitioned.Core.Experiment.p95_latency_ms;
+  Printf.printf "Audit: %d samples, %d violations — every operation still completed.\n"
+    report.Core.Experiment.audit_samples
+    (List.length report.Core.Experiment.audit_violations);
+  List.iter (fun v -> Printf.printf "  VIOLATION %s\n" v) report.Core.Experiment.audit_violations;
+  let rerun, digest' = run ~chaos:(Core.Experiment.chaos plan) () in
+  ignore rerun;
+  Printf.printf "Same seed, same plan: digest %Lx %s %Lx — deterministic replay.\n" digest
+    (if Int64.equal digest digest' then "=" else "<>")
+    digest'

@@ -1,0 +1,92 @@
+open Dcs_modes
+
+type lock_view = {
+  lock : int;
+  token_holders : int list;
+  tokens_in_flight : int;
+  held : (int * Mode.t) list;
+  cached : (int * Mode.t) list;
+  queued : int;
+  pending : int;
+}
+
+type t = {
+  engine : Dcs_sim.Engine.t;
+  period : float;
+  max_queued : int;
+  max_violations : int;
+  snapshot : unit -> lock_view list;
+  live : unit -> bool;
+  mutable samples : int;
+  mutable violations : string list;  (* newest first *)
+  mutable suppressed : int;
+}
+
+let add t fmt =
+  Printf.ksprintf
+    (fun s ->
+      if List.length t.violations < t.max_violations then
+        t.violations <- Printf.sprintf "[%.1f ms] %s" (Dcs_sim.Engine.now t.engine) s :: t.violations
+      else t.suppressed <- t.suppressed + 1)
+    fmt
+
+let check_pairwise t ~lock ~what retained =
+  let rec pairs = function
+    | [] -> ()
+    | (n1, m1) :: rest ->
+        List.iter
+          (fun (n2, m2) ->
+            if not (Compat.compatible m1 m2) then
+              add t "lock %d: incompatible %s modes n%d:%s vs n%d:%s" lock what n1
+                (Mode.to_string m1) n2 (Mode.to_string m2))
+          rest;
+        pairs rest
+  in
+  pairs retained
+
+let check_view t v =
+  let tokens = List.length v.token_holders + v.tokens_in_flight in
+  if tokens <> 1 then
+    add t "lock %d: token multiplicity %d (holders [%s], %d in flight)" v.lock tokens
+      (String.concat "," (List.map string_of_int v.token_holders))
+      v.tokens_in_flight;
+  check_pairwise t ~lock:v.lock ~what:"retained" (v.held @ v.cached);
+  if t.max_queued > 0 && v.queued > t.max_queued then
+    add t "lock %d: %d queued requests exceed the %d bound" v.lock v.queued t.max_queued
+
+let check_now t =
+  t.samples <- t.samples + 1;
+  List.iter (check_view t) (t.snapshot ())
+
+let create ~engine ?(period = 2000.0) ?(max_queued = 0) ?(max_violations = 32) ~snapshot
+    ~live () =
+  if period <= 0.0 then invalid_arg "Audit.create: period must be positive";
+  let t =
+    {
+      engine;
+      period;
+      max_queued;
+      max_violations;
+      snapshot;
+      live;
+      samples = 0;
+      violations = [];
+      suppressed = 0;
+    }
+  in
+  let rec loop () =
+    Dcs_sim.Engine.schedule engine ~after:t.period (fun () ->
+        if t.live () then begin
+          check_now t;
+          loop ()
+        end)
+  in
+  loop ();
+  t
+
+let samples t = t.samples
+
+let violations t =
+  let vs = List.rev t.violations in
+  if t.suppressed > 0 then vs @ [ Printf.sprintf "(%d more violations suppressed)" t.suppressed ]
+  else vs

@@ -1,0 +1,59 @@
+(** Runtime invariant auditing for long simulated runs.
+
+    {!Dcs_mcheck} proves safety exhaustively, but only for 2–4 nodes; the
+    64–120-node regimes where copysets, freezes and custody chains are
+    actually stressed are far beyond exhaustive exploration. The audit is
+    the sampled complement: a periodic global probe of the paper's safety
+    invariants over a running cluster, cheap enough for 10k-request chaos
+    soaks.
+
+    Checked at every sample, per lock object:
+
+    - {e single token}: token holders plus in-flight token transfers
+      equal exactly one (Rule 3.2's conservation law);
+    - {e mode compatibility}: all concurrently retained modes — held or
+      cached — are pairwise compatible ({!Dcs_modes.Compat.compatible},
+      Rule 1);
+    - {e boundedness}: total queued requests per lock never exceed the
+      configured ceiling (a custody cycle or absorbed-and-lost request
+      shows up as unbounded queue growth long before a liveness timeout).
+
+    The sampler stops rescheduling itself once [live] turns false, so it
+    never prevents the engine from draining; the driver then calls
+    {!check_now} one final time at quiescence. *)
+
+type lock_view = {
+  lock : int;
+  token_holders : int list;  (** nodes whose engine holds the token *)
+  tokens_in_flight : int;  (** token-transfer messages on the wire *)
+  held : (int * Dcs_modes.Mode.t) list;  (** (node, held mode) *)
+  cached : (int * Dcs_modes.Mode.t) list;  (** (node, cached mode) *)
+  queued : int;  (** requests sitting in local queues *)
+  pending : int;  (** nodes with an outstanding pending request *)
+}
+
+type t
+
+(** [create ~engine ~snapshot ~live ()] starts sampling every [period] ms
+    (default 2000) while [live ()] holds. [max_queued] bounds the total
+    queue length per lock (default 0 = don't check). At most
+    [max_violations] (default 32) messages are retained. *)
+val create :
+  engine:Dcs_sim.Engine.t ->
+  ?period:float ->
+  ?max_queued:int ->
+  ?max_violations:int ->
+  snapshot:(unit -> lock_view list) ->
+  live:(unit -> bool) ->
+  unit ->
+  t
+
+(** Take one sample immediately (also used for the final quiescence
+    probe). *)
+val check_now : t -> unit
+
+(** Samples taken so far. *)
+val samples : t -> int
+
+(** Violations found so far, oldest first (capped). Empty = clean run. *)
+val violations : t -> string list

@@ -1,0 +1,178 @@
+open Dcs_proto
+
+type window = { start : float; duration : float }
+
+type scope = All | Nodes of int list
+
+type spec =
+  | Latency_spike of { window : window; factor : float; scope : scope }
+  | Partition of { window : window; groups : int list list }
+  | Pause_node of { window : window; node : int }
+  | Drop of { window : window; prob : float; scope : scope }
+  | Duplicate of { window : window; prob : float; scope : scope }
+
+type t = spec list
+
+let window_of = function
+  | Latency_spike { window; _ }
+  | Partition { window; _ }
+  | Pause_node { window; _ }
+  | Drop { window; _ }
+  | Duplicate { window; _ } -> window
+
+let active w ~now = now >= w.start && now < w.start +. w.duration
+
+let in_scope scope ~src ~dst =
+  match scope with
+  | All -> true
+  | Nodes l -> List.mem src l || List.mem dst l
+
+let needs_shim plan =
+  List.exists (function Drop _ | Duplicate _ -> true | _ -> false) plan
+
+let horizon plan =
+  List.fold_left
+    (fun acc spec ->
+      let w = window_of spec in
+      Float.max acc (w.start +. w.duration))
+    0.0 plan
+
+(* A partition severs (src, dst) iff both endpoints are grouped and their
+   groups differ. *)
+let severed groups ~src ~dst =
+  let group_of n =
+    let rec go i = function
+      | [] -> None
+      | g :: rest -> if List.mem n g then Some i else go (i + 1) rest
+    in
+    go 0 groups
+  in
+  match (group_of src, group_of dst) with
+  | Some a, Some b -> a <> b
+  | _ -> false
+
+let install plan ~engine ~rng ~set_fault ~flush =
+  let decide ~now ~src ~dst ~cls:_ =
+    let held =
+      List.exists
+        (function
+          | Partition { window; groups } ->
+              active window ~now && severed groups ~src ~dst
+          | Pause_node { window; node } ->
+              active window ~now && (src = node || dst = node)
+          | _ -> false)
+        plan
+    in
+    if held then Link.Hold
+    else begin
+      let copies = ref 1 and delay_factor = ref 1.0 in
+      List.iter
+        (fun spec ->
+          match spec with
+          | Latency_spike { window; factor; scope } ->
+              if active window ~now && in_scope scope ~src ~dst then
+                delay_factor := !delay_factor *. factor
+          | Drop { window; prob; scope } ->
+              if
+                active window ~now && in_scope scope ~src ~dst
+                && Dcs_sim.Rng.float rng < prob
+              then copies := 0
+          | Duplicate { window; prob; scope } ->
+              if
+                active window ~now && in_scope scope ~src ~dst
+                && Dcs_sim.Rng.float rng < prob
+              then if !copies > 0 then incr copies
+          | Partition _ | Pause_node _ -> ())
+        plan;
+      Link.Deliver { copies = !copies; delay_factor = !delay_factor; extra_delay = 0.0 }
+    end
+  in
+  set_fault decide;
+  (* Heal timers: flush the hold buffer when each hold window closes. The
+     decide hook no longer holds those links at that instant ([active] is
+     half-open), so the flush re-schedules the buffered messages. *)
+  List.iter
+    (fun spec ->
+      match spec with
+      | Partition { window; _ } | Pause_node { window; _ } ->
+          Dcs_sim.Engine.schedule_at engine ~time:(window.start +. window.duration)
+            (fun () -> flush ())
+      | _ -> ())
+    plan
+
+(* {1 Named scenarios} *)
+
+let names = [ "latency-spike"; "heal-partition"; "slow-node"; "lossy-dup" ]
+
+let halves nodes =
+  let mid = nodes / 2 in
+  [ List.init mid (fun i -> i); List.init (nodes - mid) (fun i -> mid + i) ]
+
+let named ~nodes ~horizon name =
+  let w ~at ~len = { start = at *. horizon; duration = len *. horizon } in
+  match name with
+  | "latency-spike" ->
+      (* A global 6x spike, then a harsher one confined to the low half of
+         the cluster (where the token starts). *)
+      Some
+        [
+          Latency_spike { window = w ~at:0.15 ~len:0.15; factor = 6.0; scope = All };
+          Latency_spike
+            {
+              window = w ~at:0.55 ~len:0.15;
+              factor = 10.0;
+              scope = Nodes (List.init (max 1 (nodes / 2)) (fun i -> i));
+            };
+        ]
+  | "heal-partition" ->
+      (* Split the cluster in half, heal, then briefly isolate node 0 (the
+         initial token holder and tree root). *)
+      Some
+        [
+          Partition { window = w ~at:0.2 ~len:0.15; groups = halves nodes };
+          Partition
+            {
+              window = w ~at:0.6 ~len:0.08;
+              groups = [ [ 0 ]; List.init (nodes - 1) (fun i -> i + 1) ];
+            };
+        ]
+  | "slow-node" ->
+      (* Two pauses: the initial root, then a mid-cluster node. *)
+      Some
+        [
+          Pause_node { window = w ~at:0.2 ~len:0.1; node = 0 };
+          Pause_node { window = w ~at:0.55 ~len:0.12; node = min (nodes - 1) (nodes / 2) };
+        ]
+  | "lossy-dup" ->
+      (* Sustained 5% loss with a duplication burst inside it; only legal
+         behind the Reliable shim. *)
+      Some
+        [
+          Drop { window = w ~at:0.1 ~len:0.6; prob = 0.05; scope = All };
+          Duplicate { window = w ~at:0.25 ~len:0.3; prob = 0.05; scope = All };
+        ]
+  | _ -> None
+
+let scope_to_string = function
+  | All -> "all"
+  | Nodes l -> Printf.sprintf "nodes[%s]" (String.concat "," (List.map string_of_int l))
+
+let spec_to_string spec =
+  let w = window_of spec in
+  let body =
+    match spec with
+    | Latency_spike { factor; scope; _ } ->
+        Printf.sprintf "latency-spike x%.1f %s" factor (scope_to_string scope)
+    | Partition { groups; _ } ->
+        Printf.sprintf "partition %s"
+          (String.concat "|"
+             (List.map (fun g -> String.concat "," (List.map string_of_int g)) groups))
+    | Pause_node { node; _ } -> Printf.sprintf "pause n%d" node
+    | Drop { prob; scope; _ } ->
+        Printf.sprintf "drop p=%.2f %s" prob (scope_to_string scope)
+    | Duplicate { prob; scope; _ } ->
+        Printf.sprintf "dup p=%.2f %s" prob (scope_to_string scope)
+  in
+  Printf.sprintf "[%.0f..%.0f ms] %s" w.start (w.start +. w.duration) body
+
+let to_string plan = String.concat "; " (List.map spec_to_string plan)

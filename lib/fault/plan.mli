@@ -1,0 +1,81 @@
+(** Declarative, seed-deterministic fault schedules.
+
+    A plan is a list of timed fault {!spec}s compiled ({!install}) into a
+    {!Dcs_proto.Link.fault} hook plus heal timers on the discrete-event
+    engine. All randomness (per-message drop / duplication draws) comes
+    from the RNG handed to {!install}, so a run under a plan is exactly as
+    reproducible as a fault-free run: same seed + same plan ⇒ same
+    {!Dcs_sim.Trace.digest}.
+
+    Fault vocabulary:
+
+    - {e latency spike}: every affected message's latency draw is scaled
+      by a factor for the window (degraded link, congestion).
+    - {e partition}: messages crossing group boundaries are buffered by
+      the network and flushed, in original send order, when the window
+      ends (a healed partition; nothing is lost).
+    - {e pause}: one node drops off the network — traffic to {e and} from
+      it is buffered until resume (models a GC / scheduling stall; the
+      node's local clock keeps running).
+    - {e drop} / {e duplicate}: per-message Bernoulli loss / duplication.
+      These break the reliable-FIFO contract the protocols require, so
+      they are only legal behind {!Reliable} — {!needs_shim} tells the
+      harness when the shim is mandatory.
+
+    Crash-stop failures and token regeneration are deliberately out of
+    scope (see DESIGN.md §7): every fault here is eventually healed and no
+    protocol state is lost, so the paper's protocol must survive them
+    {e unmodified}. *)
+
+(** Active interval: [start, start +. duration) in simulated ms. *)
+type window = { start : float; duration : float }
+
+(** Which links a spec affects. *)
+type scope =
+  | All  (** every directed pair *)
+  | Nodes of int list  (** only links with an endpoint in the list *)
+
+type spec =
+  | Latency_spike of { window : window; factor : float; scope : scope }
+  | Partition of { window : window; groups : int list list }
+      (** Nodes in different groups cannot exchange messages during the
+          window; unlisted nodes are unaffected. *)
+  | Pause_node of { window : window; node : int }
+  | Drop of { window : window; prob : float; scope : scope }
+  | Duplicate of { window : window; prob : float; scope : scope }
+
+type t = spec list
+
+(** True iff the plan drops or duplicates messages, i.e. the protocols
+    must run behind {!Reliable} to keep their delivery contract. *)
+val needs_shim : t -> bool
+
+(** End of the last window (0 for the empty plan). *)
+val horizon : t -> float
+
+(** Compile the plan: installs the per-message hook via [set_fault] and
+    schedules a [flush] at the end of every hold-type (partition / pause)
+    window. [rng] drives the drop/duplicate draws and must be dedicated to
+    the plan (splitting the experiment master keeps runs reproducible). *)
+val install :
+  t ->
+  engine:Dcs_sim.Engine.t ->
+  rng:Dcs_sim.Rng.t ->
+  set_fault:(Dcs_proto.Link.fault -> unit) ->
+  flush:(unit -> unit) ->
+  unit
+
+(** {1 Named plans (the shipped chaos scenarios)} *)
+
+(** ["latency-spike"], ["heal-partition"], ["slow-node"], ["lossy-dup"]. *)
+val names : string list
+
+(** [named ~nodes ~horizon name] builds the named scenario scaled to a
+    cluster of [nodes] and an expected run length of [horizon] ms; [None]
+    for an unknown name. *)
+val named : nodes:int -> horizon:float -> string -> t option
+
+(** One-line description of a spec (reports, traces). *)
+val spec_to_string : spec -> string
+
+val to_string : t -> string

@@ -1,0 +1,16 @@
+type decision =
+  | Deliver of { copies : int; delay_factor : float; extra_delay : float }
+  | Hold
+
+let pass = Deliver { copies = 1; delay_factor = 1.0; extra_delay = 0.0 }
+
+type fault =
+  now:float -> src:Node_id.t -> dst:Node_id.t -> cls:Msg_class.t -> decision
+
+type send =
+  src:Node_id.t ->
+  dst:Node_id.t ->
+  cls:Msg_class.t ->
+  describe:(unit -> string) ->
+  (unit -> unit) ->
+  unit

@@ -1,0 +1,43 @@
+(** Transport-layer signatures shared by the simulated network, the fault
+    injector and the reliable-delivery shim.
+
+    A [send] is the one verb every transport exposes: deliver an opaque
+    message (represented by its [deliver] continuation) from [src] to [dst],
+    counted under a {!Msg_class}. {!Dcs_runtime.Net.send}, partially
+    applied, has exactly this type, and {!Dcs_fault.Reliable} both consumes
+    and produces it — which is what lets the shim be layered between any
+    protocol engine and any lossy link without either knowing.
+
+    A [fault] hook is consulted by the network once per message send and
+    returns a {!decision}: deliver normally (possibly delayed, dropped or
+    duplicated) or hold the message in the network's partition buffer until
+    a later {e flush}. The hook must be deterministic given its own RNG
+    stream; {!Dcs_fault.Plan} compiles declarative fault schedules into
+    hooks. *)
+
+(** What the fault layer does with one message. *)
+type decision =
+  | Deliver of {
+      copies : int;  (** 0 drops the message; 2+ delivers duplicates *)
+      delay_factor : float;  (** scales the link's latency draw (spikes) *)
+      extra_delay : float;  (** absolute extra delay in ms *)
+    }
+  | Hold
+      (** Buffer the message (partition / paused node); it stays queued in
+          send order until the owner of the hook flushes the network. *)
+
+(** Normal delivery: one copy, unscaled, no extra delay. *)
+val pass : decision
+
+(** Per-message fault hook. *)
+type fault =
+  now:float -> src:Node_id.t -> dst:Node_id.t -> cls:Msg_class.t -> decision
+
+(** Point-to-point message submission (see {!Dcs_runtime.Net.send}). *)
+type send =
+  src:Node_id.t ->
+  dst:Node_id.t ->
+  cls:Msg_class.t ->
+  describe:(unit -> string) ->
+  (unit -> unit) ->
+  unit

@@ -4,8 +4,10 @@ type t =
   | Token_transfer
   | Release
   | Freeze
+  | Ack
+  | Retransmit
 
-let all = [ Request; Copy_grant; Token_transfer; Release; Freeze ]
+let all = [ Request; Copy_grant; Token_transfer; Release; Freeze; Ack; Retransmit ]
 
 let equal (a : t) (b : t) = a = b
 
@@ -15,6 +17,8 @@ let index = function
   | Token_transfer -> 2
   | Release -> 3
   | Freeze -> 4
+  | Ack -> 5
+  | Retransmit -> 6
 
 let to_string = function
   | Request -> "request"
@@ -22,5 +26,7 @@ let to_string = function
   | Token_transfer -> "token"
   | Release -> "release"
   | Freeze -> "freeze"
+  | Ack -> "ack"
+  | Retransmit -> "retx"
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -3,7 +3,12 @@
     These are the categories of Figure 7 of the paper (message-overhead
     breakdown): request relays, copy grants, token transfers, releases and
     freeze notifications. The Naimi baseline only ever emits [Request] and
-    [Token_transfer]. *)
+    [Token_transfer].
+
+    [Ack] and [Retransmit] are emitted only by the reliable-delivery shim
+    ({!Dcs_fault.Reliable}) when the protocols run over a lossy link: they
+    let experiments report the shim's overhead separately from the
+    protocol's own traffic (the five paper classes). *)
 
 type t =
   | Request  (** lock request (initial send or relay hop) *)
@@ -11,6 +16,8 @@ type t =
   | Token_transfer  (** token handover (Rule 3.2 operational) *)
   | Release  (** upward owned-mode weakening / child detach (Rule 5) *)
   | Freeze  (** frozen-mode notification (Rule 6) *)
+  | Ack  (** reliable-shim cumulative acknowledgement *)
+  | Retransmit  (** reliable-shim retransmission of an unacked message *)
 
 val all : t list
 val equal : t -> t -> bool

@@ -12,6 +12,13 @@ let driver_to_string = function
   | Naimi_same_work -> "naimi-same-work"
   | Naimi_pure -> "naimi-pure"
 
+type chaos = {
+  plan : Dcs_fault.Plan.t;
+  reliable : bool;
+  audit_period : float;
+  rto : float;
+}
+
 type config = {
   nodes : int;
   driver : driver;
@@ -21,6 +28,7 @@ type config = {
   seed : int64;
   protocol : Dcs_hlock.Node.config;
   oracle : bool;
+  chaos : chaos option;
 }
 
 let default_config ~driver ~nodes =
@@ -33,7 +41,39 @@ let default_config ~driver ~nodes =
     seed = 42L;
     protocol = Dcs_hlock.Node.default_config;
     oracle = false;
+    chaos = None;
   }
+
+let chaos ?reliable ?(audit_period = 2000.0) ?(rto = 600.0) plan =
+  {
+    plan;
+    reliable = (match reliable with Some r -> r | None -> Dcs_fault.Plan.needs_shim plan);
+    audit_period;
+    rto;
+  }
+
+(* Rough expected length of the busy phase of a run (ms): idle + critical
+   section + an acquisition term that grows with contention. Used only to
+   place named fault windows inside the run; being off by 2x still lands
+   every window in live traffic. *)
+let horizon_estimate cfg =
+  let wl = cfg.workload in
+  let lat = Dcs_sim.Dist.mean cfg.latency in
+  let per_op =
+    Dcs_sim.Dist.mean wl.Airline.idle_time
+    +. Dcs_sim.Dist.mean wl.Airline.cs_time
+    +. (lat *. (1.0 +. (float_of_int cfg.nodes /. 16.0)))
+  in
+  float_of_int wl.Airline.ops_per_node *. per_op
+
+type chaos_report = {
+  audit_samples : int;
+  audit_violations : string list;
+  reliable_stats : Dcs_fault.Reliable.stats option;
+  shim_overhead : float;
+  net_dropped : int;
+  net_duplicated : int;
+}
 
 type result = {
   cfg : config;
@@ -50,6 +90,7 @@ type result = {
   latencies : Dcs_stats.Sample.t;
   sim_duration_ms : float;
   events : int;
+  chaos_report : chaos_report option;
 }
 
 (* Shared measurement state threaded through the per-driver clients. *)
@@ -77,11 +118,11 @@ let record_acquired meter ~cls ~elapsed =
 
 (* {1 The hierarchical driver} *)
 
-let run_hierarchical cfg engine net meter =
+let run_hierarchical ?transport cfg engine net meter =
   let wl = cfg.workload in
   let cluster =
-    Hlock_cluster.create ~config:cfg.protocol ~oracle:cfg.oracle ~net ~nodes:cfg.nodes
-      ~locks:(1 + wl.Airline.entries) ()
+    Hlock_cluster.create ~config:cfg.protocol ~oracle:cfg.oracle ?transport ~net
+      ~nodes:cfg.nodes ~locks:(1 + wl.Airline.entries) ()
   in
   let master = Dcs_sim.Rng.create ~seed:cfg.seed in
   (* Custody watchdog: as long as work remains, kick every few round trips. *)
@@ -155,7 +196,8 @@ let run_hierarchical cfg engine net meter =
     in
     idle_then_op ()
   done;
-  fun () -> if cfg.oracle then Hlock_cluster.quiescent_violations cluster else []
+  ( (fun () -> if cfg.oracle then Hlock_cluster.quiescent_violations cluster else []),
+    Some cluster )
 
 (* {1 The Naimi drivers} *)
 
@@ -202,26 +244,59 @@ let run_naimi cfg engine net meter ~pure =
     in
     idle_then_op ()
   done;
-  fun () -> if cfg.oracle then Naimi_cluster.quiescent_violations cluster else []
+  ((fun () -> if cfg.oracle then Naimi_cluster.quiescent_violations cluster else []), None)
 
 (* {1 Runner} *)
 
-let run cfg =
+let run ?trace cfg =
   let engine = Dcs_sim.Engine.create () in
   let net_rng = Dcs_sim.Rng.create ~seed:(Int64.add cfg.seed 0x9E37L) in
-  let net = Net.create ~engine ~latency:cfg.latency ~topology:cfg.topology ~rng:net_rng () in
+  let net =
+    Net.create ~engine ~latency:cfg.latency ~topology:cfg.topology ~rng:net_rng ?trace ()
+  in
   let meter = meter_create () in
-  let quiescent =
+  let expected = cfg.nodes * cfg.workload.Airline.ops_per_node in
+  (* Chaos: install the fault plan on the net and (when the plan drops or
+     duplicates) thread the Reliable shim between cluster and net. *)
+  let shim =
+    match cfg.chaos with
+    | None -> None
+    | Some { plan; reliable; rto; _ } ->
+        (match cfg.driver with
+        | Hierarchical -> ()
+        | Naimi_same_work | Naimi_pure ->
+            invalid_arg "Experiment.run: chaos is only wired for the Hierarchical driver");
+        if Dcs_fault.Plan.needs_shim plan && not reliable then
+          invalid_arg "Experiment.run: plan drops/duplicates but chaos.reliable is false";
+        let plan_rng = Dcs_sim.Rng.create ~seed:(Int64.add cfg.seed 0x0FADL) in
+        Dcs_fault.Plan.install plan ~engine ~rng:plan_rng ~set_fault:(Net.set_fault net)
+          ~flush:(fun () -> Net.flush_held net);
+        if reliable then
+          Some (Dcs_fault.Reliable.create ~engine ~rto ~below:(Net.send net) ())
+        else None
+  in
+  let transport = Option.map (fun s -> Dcs_fault.Reliable.send s) shim in
+  let quiescent, cluster =
     match cfg.driver with
-    | Hierarchical -> run_hierarchical cfg engine net meter
+    | Hierarchical -> run_hierarchical ?transport cfg engine net meter
     | Naimi_same_work -> run_naimi cfg engine net meter ~pure:false
     | Naimi_pure -> run_naimi cfg engine net meter ~pure:true
+  in
+  let audit =
+    match (cfg.chaos, cluster) with
+    | Some { audit_period; _ }, Some cluster when audit_period > 0.0 ->
+        Some
+          (Dcs_fault.Audit.create ~engine ~period:audit_period
+             ~max_queued:(2 * cfg.nodes)
+             ~snapshot:(fun () -> Hlock_cluster.audit_views cluster)
+             ~live:(fun () -> meter.ops_done < expected)
+             ())
+    | _ -> None
   in
   (match Dcs_sim.Engine.run engine with
   | Dcs_sim.Engine.Drained -> ()
   | Dcs_sim.Engine.Horizon_reached -> assert false
   | Dcs_sim.Engine.Event_limit -> failwith "Experiment.run: event limit hit (livelock?)");
-  let expected = cfg.nodes * cfg.workload.Airline.ops_per_node in
   if meter.ops_done <> expected then
     failwith
       (Printf.sprintf "Experiment.run (%s, n=%d): %d/%d operations completed — liveness failure"
@@ -230,6 +305,41 @@ let run cfg =
   | [] -> ()
   | vs -> failwith ("Experiment.run: quiescence violations: " ^ String.concat "; " vs));
   let counters = Net.counters net in
+  (* Final audit probe at quiescence: the engine has drained, so beyond the
+     sampled invariants the cluster must also be fully at rest. *)
+  let chaos_report =
+    match cfg.chaos with
+    | None -> None
+    | Some _ ->
+        let audit_samples, audit_findings =
+          match audit with
+          | None -> (0, [])
+          | Some audit ->
+              Dcs_fault.Audit.check_now audit;
+              (Dcs_fault.Audit.samples audit, Dcs_fault.Audit.violations audit)
+        in
+        let quiescence_violations =
+          (match cluster with
+          | Some c -> Hlock_cluster.quiescent_violations c
+          | None -> [])
+          @ (match shim with Some s -> Dcs_fault.Reliable.quiescent_violations s | None -> [])
+          @ (if Net.in_flight net = 0 then []
+             else [ Printf.sprintf "net: %d messages still in flight" (Net.in_flight net) ])
+        in
+        let shim_msgs =
+          Counters.get counters Msg_class.Ack + Counters.get counters Msg_class.Retransmit
+        in
+        let protocol_msgs = Counters.total counters - shim_msgs in
+        Some
+          {
+            audit_samples;
+            audit_violations = audit_findings @ quiescence_violations;
+            reliable_stats = Option.map Dcs_fault.Reliable.stats shim;
+            shim_overhead = float_of_int shim_msgs /. float_of_int (max 1 protocol_msgs);
+            net_dropped = Net.dropped net;
+            net_duplicated = Net.duplicated net;
+          }
+  in
   let total_messages = Counters.total counters in
   let ops = meter.ops_done in
   let mean_latency_ms = Dcs_stats.Sample.mean meter.latencies in
@@ -256,6 +366,7 @@ let run cfg =
     latencies = meter.latencies;
     sim_duration_ms = Dcs_sim.Engine.now engine;
     events = Dcs_sim.Engine.events_processed engine;
+    chaos_report;
   }
 
 let row_header =

@@ -24,6 +24,17 @@ type driver =
 
 val driver_to_string : driver -> string
 
+(** Chaos-mode settings: a fault plan plus how to survive and observe it.
+    Only supported by the [Hierarchical] driver. *)
+type chaos = {
+  plan : Dcs_fault.Plan.t;
+  reliable : bool;
+      (** interpose {!Dcs_fault.Reliable} between protocol and net;
+          mandatory when the plan drops or duplicates messages *)
+  audit_period : float;  (** ms between {!Dcs_fault.Audit} samples; 0 = off *)
+  rto : float;  (** shim retransmission timeout (ms) *)
+}
+
 type config = {
   nodes : int;
   driver : driver;
@@ -33,10 +44,36 @@ type config = {
   seed : int64;
   protocol : Dcs_hlock.Node.config;  (** hierarchical-protocol ablations *)
   oracle : bool;  (** re-check safety invariants after every message *)
+  chaos : chaos option;  (** degraded-network mode (default [None]) *)
 }
 
 (** Paper-parameter configuration for a driver and cluster size. *)
 val default_config : driver:driver -> nodes:int -> config
+
+(** [chaos plan] with sane defaults: the shim exactly when the plan needs
+    it ({!Dcs_fault.Plan.needs_shim}), audits every 2 s of simulated time,
+    600 ms initial retransmission timeout. *)
+val chaos :
+  ?reliable:bool -> ?audit_period:float -> ?rto:float -> Dcs_fault.Plan.t -> chaos
+
+(** Estimated busy-phase length of a run (ms) — for placing the windows of
+    named fault plans ({!Dcs_fault.Plan.named}). An estimate: fault
+    windows landing a factor of ~2 early or late still overlap live
+    traffic. *)
+val horizon_estimate : config -> float
+
+(** What the fault machinery observed during a chaos run. *)
+type chaos_report = {
+  audit_samples : int;
+  audit_violations : string list;
+      (** sampled invariant violations plus end-of-run quiescence failures
+          (cluster book-keeping, undrained shim channels, in-flight
+          messages); empty = clean run *)
+  reliable_stats : Dcs_fault.Reliable.stats option;  (** [None] = no shim *)
+  shim_overhead : float;  (** (acks + retransmits) / protocol messages *)
+  net_dropped : int;  (** messages the fault layer discarded *)
+  net_duplicated : int;  (** extra copies the fault layer injected *)
+}
 
 type result = {
   cfg : config;
@@ -55,13 +92,17 @@ type result = {
   latencies : Dcs_stats.Sample.t;  (** raw per-operation acquisition latencies *)
   sim_duration_ms : float;
   events : int;
+  chaos_report : chaos_report option;  (** [Some] iff [cfg.chaos] was set *)
 }
 
 (** Run to completion (all nodes finish their ops and the event queue
     drains). Raises [Failure] on liveness failure (operations that never
     complete), on oracle violations, and on residual structural damage
-    detected at quiescence when [oracle] is set. *)
-val run : config -> result
+    detected at quiescence when [oracle] is set. Audit findings of a chaos
+    run are {e reported} (in [chaos_report]), not raised, so harnesses can
+    print them. [trace] (disabled by default) records every network event;
+    its digest is the reproducibility check for chaos runs. *)
+val run : ?trace:Dcs_sim.Trace.t -> config -> result
 
 (** One row of the experiment summary table. *)
 val result_row : result -> string list

@@ -143,8 +143,14 @@ let quiescent_violations t =
 
 (* {1 Construction} *)
 
-let create ?(config = Node.default_config) ?(oracle = false) ~net ~nodes:n ~locks:l () =
+let create ?(config = Node.default_config) ?(oracle = false) ?transport ~net ~nodes:n
+    ~locks:l () =
   if n < 1 then invalid_arg "Hlock_cluster.create: need at least one node";
+  (* Protocol messages travel through [transport] (default: the raw net);
+     chaos runs interpose the Dcs_fault.Reliable shim here. *)
+  let transport : Dcs_proto.Link.send =
+    match transport with Some s -> s | None -> Net.send net
+  in
   let t =
     { net; n; l; locks_arr = Array.init l (fun _ ->
           {
@@ -166,7 +172,7 @@ let create ?(config = Node.default_config) ?(oracle = false) ~net ~nodes:n ~lock
           let send ~dst msg =
             Dcs_proto.Counters.incr ls.counters (Msg.class_of msg);
             (match msg with Msg.Token _ -> ls.tokens_in_flight <- ls.tokens_in_flight + 1 | _ -> ());
-            Net.send net ~src:id ~dst ~cls:(Msg.class_of msg)
+            transport ~src:id ~dst ~cls:(Msg.class_of msg)
               ~describe:(fun () -> Format.asprintf "lock%d %a" lock Msg.pp msg)
               (fun () ->
                 (match msg with
@@ -204,6 +210,34 @@ let create ?(config = Node.default_config) ?(oracle = false) ~net ~nodes:n ~lock
   t
 
 let lock_counters t ~lock = t.locks_arr.(lock).counters
+
+(* Global state probe for the sampled invariant auditor (chaos soaks). *)
+let audit_views t =
+  List.init t.l (fun lock ->
+      let ls = t.locks_arr.(lock) in
+      let token_holders = ref []
+      and held = ref []
+      and cached = ref []
+      and queued = ref 0
+      and pending = ref 0 in
+      Array.iter
+        (fun e ->
+          let id = Node.id e in
+          if Node.is_token e then token_holders := id :: !token_holders;
+          List.iter (fun (_, m) -> held := (id, m) :: !held) (Node.held e);
+          List.iter (fun m -> cached := (id, m) :: !cached) (Node.cached e);
+          queued := !queued + List.length (Node.queue e);
+          if Node.pending e <> None then incr pending)
+        ls.engines;
+      {
+        Dcs_fault.Audit.lock;
+        token_holders = List.rev !token_holders;
+        tokens_in_flight = ls.tokens_in_flight;
+        held = List.rev !held;
+        cached = List.rev !cached;
+        queued = !queued;
+        pending = !pending;
+      })
 
 let kick_all t =
   Array.iter (fun ls -> Array.iter Node.kick ls.engines) t.locks_arr

@@ -16,9 +16,13 @@ open Dcs_modes
 
 type t
 
+(** [transport] (default [Net.send net]) carries every protocol message;
+    chaos experiments interpose {!Dcs_fault.Reliable.send} here so the
+    engines keep their reliable-FIFO delivery contract over lossy links. *)
 val create :
   ?config:Dcs_hlock.Node.config ->
   ?oracle:bool ->
+  ?transport:Dcs_proto.Link.send ->
   net:Net.t ->
   nodes:int ->
   locks:int ->
@@ -47,6 +51,12 @@ val upgrade : t -> node:int -> lock:int -> seq:int -> on_upgraded:(unit -> unit)
 
 (** Messages sent so far on behalf of one lock object, by class. *)
 val lock_counters : t -> lock:int -> Dcs_proto.Counters.t
+
+(** Per-lock global state snapshot for {!Dcs_fault.Audit} sampling: token
+    holders and in-flight transfers, all held and cached modes, queue and
+    pending totals. O(nodes × locks); meant for periodic sampling, not
+    per-message use. *)
+val audit_views : t -> Dcs_fault.Audit.lock_view list
 
 (** Run the custody watchdog ({!Dcs_hlock.Node.kick}) on every node of
     every lock. Schedule this periodically (a few network round-trips

@@ -1,5 +1,13 @@
 open Dcs_proto
 
+type held = {
+  h_src : Node_id.t;
+  h_dst : Node_id.t;
+  h_cls : Msg_class.t;
+  h_describe : unit -> string;
+  h_deliver : unit -> unit;
+}
+
 type t = {
   engine : Dcs_sim.Engine.t;
   latency : Dcs_sim.Dist.t;
@@ -9,6 +17,10 @@ type t = {
   counters : Counters.t;
   last_delivery : (Node_id.t * Node_id.t, float) Hashtbl.t;
   mutable in_flight : int;
+  mutable fault : Link.fault option;
+  held : held Queue.t;
+  mutable dropped : int;
+  mutable duplicated : int;
 }
 
 let create ~engine ~latency ?(topology = Dcs_sim.Topology.uniform) ~rng
@@ -22,14 +34,24 @@ let create ~engine ~latency ?(topology = Dcs_sim.Topology.uniform) ~rng
     counters = Counters.create ();
     last_delivery = Hashtbl.create 64;
     in_flight = 0;
+    fault = None;
+    held = Queue.create ();
+    dropped = 0;
+    duplicated = 0;
   }
 
+let set_fault t fault = t.fault <- Some fault
+
+let clear_fault t = t.fault <- None
+
 (* FIFO per directed pair: never schedule a delivery before an earlier one
-   on the same link (TCP semantics). *)
-let delivery_time t ~src ~dst =
+   on the same link (TCP semantics). The fault layer may scale or extend a
+   draw, but the floor still applies, so faults never reorder a link. *)
+let delivery_time t ~src ~dst ~delay_factor ~extra_delay =
   let now = Dcs_sim.Engine.now t.engine in
   let scale = Dcs_sim.Topology.factor t.topology ~src ~dst in
-  let naive = now +. (scale *. Dcs_sim.Dist.sample t.latency t.rng) in
+  let draw = scale *. Dcs_sim.Dist.sample t.latency t.rng in
+  let naive = now +. (Float.max 1.0 delay_factor *. draw) +. Float.max 0.0 extra_delay in
   let floor =
     match Hashtbl.find_opt t.last_delivery (src, dst) with
     | None -> naive
@@ -38,10 +60,9 @@ let delivery_time t ~src ~dst =
   Hashtbl.replace t.last_delivery (src, dst) floor;
   floor
 
-let send t ~src ~dst ~cls ~describe deliver =
-  Counters.incr t.counters cls;
+let deliver_copy t ~src ~dst ~describe ~delay_factor ~extra_delay deliver =
   t.in_flight <- t.in_flight + 1;
-  let time = delivery_time t ~src ~dst in
+  let time = delivery_time t ~src ~dst ~delay_factor ~extra_delay in
   Dcs_sim.Trace.record t.trace ~time:(Dcs_sim.Engine.now t.engine) (fun () ->
       Printf.sprintf "send n%d->n%d %s (eta %.3f)" src dst (describe ()) time);
   Dcs_sim.Engine.schedule_at t.engine ~time (fun () ->
@@ -50,8 +71,56 @@ let send t ~src ~dst ~cls ~describe deliver =
           Printf.sprintf "recv n%d->n%d %s" src dst (describe ()));
       deliver ())
 
+(* Consult the fault hook (if any) and act on its decision. Also the
+   re-entry point for flushed held messages, hence no counting here. *)
+let dispatch t ~src ~dst ~cls ~describe deliver =
+  let decision =
+    match t.fault with
+    | None -> Link.pass
+    | Some f -> f ~now:(Dcs_sim.Engine.now t.engine) ~src ~dst ~cls
+  in
+  match decision with
+  | Link.Hold ->
+      Dcs_sim.Trace.record t.trace ~time:(Dcs_sim.Engine.now t.engine) (fun () ->
+          Printf.sprintf "hold n%d->n%d %s" src dst (describe ()));
+      Queue.add
+        { h_src = src; h_dst = dst; h_cls = cls; h_describe = describe; h_deliver = deliver }
+        t.held
+  | Link.Deliver { copies; delay_factor; extra_delay } ->
+      if copies <= 0 then begin
+        t.dropped <- t.dropped + 1;
+        Dcs_sim.Trace.record t.trace ~time:(Dcs_sim.Engine.now t.engine) (fun () ->
+            Printf.sprintf "drop n%d->n%d %s" src dst (describe ()))
+      end
+      else begin
+        if copies > 1 then t.duplicated <- t.duplicated + (copies - 1);
+        for _ = 1 to copies do
+          deliver_copy t ~src ~dst ~describe ~delay_factor ~extra_delay deliver
+        done
+      end
+
+let send t ~src ~dst ~cls ~describe deliver =
+  Counters.incr t.counters cls;
+  dispatch t ~src ~dst ~cls ~describe deliver
+
+let flush_held t =
+  (* Re-dispatch in send order; messages whose links are still faulted are
+     re-held behind any newly held traffic, preserving FIFO per link. *)
+  let pending = Queue.create () in
+  Queue.transfer t.held pending;
+  Queue.iter
+    (fun h ->
+      dispatch t ~src:h.h_src ~dst:h.h_dst ~cls:h.h_cls ~describe:h.h_describe h.h_deliver)
+    pending
+
 let counters t = t.counters
 
-let in_flight t = t.in_flight
+let in_flight t = t.in_flight + Queue.length t.held
+
+let held_count t = Queue.length t.held
+
+let dropped t = t.dropped
+
+let duplicated t = t.duplicated
 
 let mean_latency t = Dcs_sim.Dist.mean t.latency

@@ -6,7 +6,14 @@
     optional {!Dcs_sim.Topology} factor for the pair (racks, star, custom). Delivery is
     FIFO per directed node pair — the property a TCP connection gives the
     real transport, and one the protocol's release/grant epoch logic
-    assumes; cross-pair ordering is arbitrary. *)
+    assumes; cross-pair ordering is arbitrary.
+
+    An injectable {!Dcs_proto.Link.fault} hook (see {!set_fault}) lets
+    {!Dcs_fault.Plan} degrade the network deterministically: per-message
+    latency scaling, message drop and duplication, and holding messages in
+    a partition buffer that {!flush_held} later re-dispatches in send
+    order. Faults never reorder a live link: the per-pair FIFO floor is
+    applied after any fault-added delay. *)
 
 type t
 
@@ -34,8 +41,31 @@ val send :
 (** Message counts by class since creation. *)
 val counters : t -> Dcs_proto.Counters.t
 
-(** Messages sent but not yet delivered. *)
+(** Messages sent but not yet delivered (including held ones). *)
 val in_flight : t -> int
+
+(** {1 Fault injection} *)
+
+(** Install the fault hook consulted on every subsequent send. *)
+val set_fault : t -> Dcs_proto.Link.fault -> unit
+
+(** Remove the fault hook (back to perfectly reliable delivery). *)
+val clear_fault : t -> unit
+
+(** Re-dispatch every held message, in original send order, through the
+    current fault hook (messages whose links are still severed are held
+    again, behind newer traffic on the same buffer). Call at heal /
+    resume points — {!Dcs_fault.Plan} schedules this automatically. *)
+val flush_held : t -> unit
+
+(** Messages currently parked in the partition buffer. *)
+val held_count : t -> int
+
+(** Messages discarded by the fault hook since creation. *)
+val dropped : t -> int
+
+(** Extra copies injected by the fault hook since creation. *)
+val duplicated : t -> int
 
 (** Mean of the latency distribution (for latency-factor normalization). *)
 val mean_latency : t -> float

@@ -1,0 +1,392 @@
+(* Fault-injection subsystem: plan hooks and partition buffering in Net,
+   the reliable-delivery shim under a scripted adversary, the invariant
+   audit, and end-to-end chaos determinism. *)
+
+open Dcs_fault
+module Net = Dcs_runtime.Net
+module Experiment = Dcs_runtime.Experiment
+module Link = Dcs_proto.Link
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let fresh_net ?(latency = Dcs_sim.Dist.Constant 10.0) ~seed () =
+  let engine = Dcs_sim.Engine.create () in
+  let rng = Dcs_sim.Rng.create ~seed in
+  let net = Net.create ~engine ~latency ~rng () in
+  (engine, net)
+
+(* {1 Net fault hook} *)
+
+(* A held link buffers; flush delivers in original send order. *)
+let test_net_hold_flush () =
+  let engine, net = fresh_net ~seed:3L () in
+  Net.set_fault net (fun ~now:_ ~src ~dst:_ ~cls:_ ->
+      if src = 0 then Link.Hold else Link.pass);
+  let delivered = ref [] in
+  for i = 1 to 8 do
+    Net.send net ~src:0 ~dst:1 ~cls:Dcs_proto.Msg_class.Request
+      ~describe:(fun () -> "held")
+      (fun () -> delivered := i :: !delivered)
+  done;
+  Net.send net ~src:2 ~dst:1 ~cls:Dcs_proto.Msg_class.Request
+    ~describe:(fun () -> "live")
+    (fun () -> delivered := 100 :: !delivered);
+  ignore (Dcs_sim.Engine.run engine);
+  checki "held count" 8 (Net.held_count net);
+  Alcotest.check Alcotest.(list int) "only the live link delivered" [ 100 ] (List.rev !delivered);
+  checki "held still in flight" 8 (Net.in_flight net);
+  Net.clear_fault net;
+  Net.flush_held net;
+  ignore (Dcs_sim.Engine.run engine);
+  Alcotest.check
+    Alcotest.(list int)
+    "flush preserves send order"
+    (100 :: List.init 8 (fun i -> i + 1))
+    (List.rev !delivered);
+  checki "drained" 0 (Net.in_flight net)
+
+(* Drop and duplicate decisions are counted and (for dups) FIFO-safe. *)
+let test_net_drop_duplicate () =
+  let engine, net = fresh_net ~seed:4L () in
+  let n = ref 0 in
+  Net.set_fault net (fun ~now:_ ~src:_ ~dst:_ ~cls:_ ->
+      incr n;
+      if !n = 1 then Link.Deliver { copies = 0; delay_factor = 1.0; extra_delay = 0.0 }
+      else if !n = 2 then Link.Deliver { copies = 3; delay_factor = 1.0; extra_delay = 0.0 }
+      else Link.pass);
+  let arrivals = ref [] in
+  for i = 1 to 3 do
+    Net.send net ~src:0 ~dst:1 ~cls:Dcs_proto.Msg_class.Request
+      ~describe:(fun () -> "m")
+      (fun () -> arrivals := i :: !arrivals)
+  done;
+  ignore (Dcs_sim.Engine.run engine);
+  checki "dropped" 1 (Net.dropped net);
+  checki "duplicated" 2 (Net.duplicated net);
+  (* msg 1 dropped; msg 2 thrice; msg 3 once — copies stay FIFO. *)
+  Alcotest.check Alcotest.(list int) "arrival order" [ 2; 2; 2; 3 ] (List.rev !arrivals);
+  checki "counter counts sends, not copies" 3
+    (Dcs_proto.Counters.get (Net.counters net) Dcs_proto.Msg_class.Request)
+
+(* A latency spike defers affected messages but cannot reorder the pair. *)
+let test_net_latency_spike_fifo () =
+  let engine, net = fresh_net ~seed:5L () in
+  let n = ref 0 in
+  Net.set_fault net (fun ~now:_ ~src:_ ~dst:_ ~cls:_ ->
+      incr n;
+      if !n = 1 then Link.Deliver { copies = 1; delay_factor = 40.0; extra_delay = 0.0 }
+      else Link.pass);
+  let arrivals = ref [] in
+  for i = 1 to 4 do
+    Net.send net ~src:0 ~dst:1 ~cls:Dcs_proto.Msg_class.Request
+      ~describe:(fun () -> "m")
+      (fun () -> arrivals := i :: !arrivals)
+  done;
+  ignore (Dcs_sim.Engine.run engine);
+  Alcotest.check
+    Alcotest.(list int)
+    "spiked first message still delivers first" [ 1; 2; 3; 4 ] (List.rev !arrivals)
+
+(* {1 Plan} *)
+
+let test_plan_windows_and_shim () =
+  let w = { Plan.start = 100.0; duration = 50.0 } in
+  let clean = [ Plan.Latency_spike { window = w; factor = 4.0; scope = Plan.All } ] in
+  let lossy = clean @ [ Plan.Drop { window = w; prob = 0.1; scope = Plan.All } ] in
+  checkb "latency plan needs no shim" false (Plan.needs_shim clean);
+  checkb "drop plan needs shim" true (Plan.needs_shim lossy);
+  Alcotest.check (Alcotest.float 1e-9) "horizon" 150.0 (Plan.horizon lossy);
+  List.iter
+    (fun name ->
+      match Plan.named ~nodes:16 ~horizon:10_000.0 name with
+      | Some plan ->
+          checkb (name ^ " non-empty") true (plan <> []);
+          checkb (name ^ " fits horizon") true (Plan.horizon plan <= 10_000.0)
+      | None -> Alcotest.failf "named plan %s missing" name)
+    Plan.names;
+  checkb "unknown plan" true (Plan.named ~nodes:16 ~horizon:1e4 "nope" = None)
+
+(* The installed hook holds partitioned pairs exactly during the window
+   and heals (flush fires) at its end. *)
+let test_plan_install_partition () =
+  let engine = Dcs_sim.Engine.create () in
+  let rng = Dcs_sim.Rng.create ~seed:11L in
+  let plan =
+    [
+      Plan.Partition
+        { window = { Plan.start = 100.0; duration = 200.0 }; groups = [ [ 0 ]; [ 1 ] ] };
+    ]
+  in
+  let hook = ref (fun ~now:_ ~src:_ ~dst:_ ~cls:_ -> Link.pass) in
+  let flushes = ref [] in
+  Plan.install plan ~engine ~rng
+    ~set_fault:(fun f -> hook := f)
+    ~flush:(fun () -> flushes := Dcs_sim.Engine.now engine :: !flushes);
+  let decide ~now ~src ~dst = !hook ~now ~src ~dst ~cls:Dcs_proto.Msg_class.Request in
+  checkb "before window passes" true (decide ~now:50.0 ~src:0 ~dst:1 = Link.pass);
+  checkb "inside window holds" true (decide ~now:150.0 ~src:0 ~dst:1 = Link.Hold);
+  checkb "reverse direction holds too" true (decide ~now:150.0 ~src:1 ~dst:0 = Link.Hold);
+  checkb "unlisted node passes" true (decide ~now:150.0 ~src:2 ~dst:0 = Link.pass);
+  checkb "after window passes" true (decide ~now:301.0 ~src:0 ~dst:1 = Link.pass);
+  ignore (Dcs_sim.Engine.run engine);
+  checki "one heal flush" 1 (List.length !flushes);
+  checkb "flush at window end" true (List.hd !flushes >= 300.0)
+
+(* {1 Reliable shim under a scripted adversary} *)
+
+(* The adversary drops every 3rd transmission, duplicates every 4th, and
+   alternates 5 ms / 45 ms delays so later sequence numbers overtake
+   earlier ones. The shim must still deliver exactly once, in order. *)
+let test_reliable_adversary () =
+  let engine = Dcs_sim.Engine.create () in
+  let attempts = ref 0 in
+  let below ~src:_ ~dst:_ ~cls:_ ~describe:_ k =
+    incr attempts;
+    let n = !attempts in
+    if n mod 3 = 0 then () (* dropped *)
+    else begin
+      let delay = if n mod 2 = 0 then 45.0 else 5.0 in
+      Dcs_sim.Engine.schedule engine ~after:delay k;
+      if n mod 4 = 0 then Dcs_sim.Engine.schedule engine ~after:(delay +. 13.0) k
+    end
+  in
+  let shim = Reliable.create ~engine ~rto:100.0 ~below () in
+  let delivered = ref [] in
+  let total = 40 in
+  for i = 1 to total do
+    Reliable.send shim ~src:0 ~dst:1 ~cls:Dcs_proto.Msg_class.Request
+      ~describe:(fun () -> Printf.sprintf "payload-%d" i)
+      (fun () -> delivered := i :: !delivered)
+  done;
+  (match Dcs_sim.Engine.run engine with
+  | Dcs_sim.Engine.Drained -> ()
+  | _ -> Alcotest.fail "engine did not drain");
+  Alcotest.check
+    Alcotest.(list int)
+    "exactly-once, in-order delivery"
+    (List.init total (fun i -> i + 1))
+    (List.rev !delivered);
+  let s = Reliable.stats shim in
+  checki "all data accepted" total s.Reliable.data_sent;
+  checkb "some retransmits happened" true (s.Reliable.retransmits > 0);
+  checkb "dedup caught duplicates" true (s.Reliable.duplicates_dropped > 0);
+  checkb "reordered arrivals were buffered" true (s.Reliable.buffered_out_of_order > 0);
+  (* Bounded recovery: every loss is repaired within a handful of RTOs. *)
+  checkb "retransmits bounded" true (s.Reliable.retransmits <= 4 * total);
+  Alcotest.check Alcotest.(list string) "channels drained" [] (Reliable.quiescent_violations shim)
+
+(* Two interleaved directed pairs keep independent sequence spaces. *)
+let test_reliable_pairs_independent () =
+  let engine = Dcs_sim.Engine.create () in
+  let below ~src:_ ~dst:_ ~cls:_ ~describe:_ k = Dcs_sim.Engine.schedule engine ~after:1.0 k in
+  let shim = Reliable.create ~engine ~below () in
+  let got = ref [] in
+  List.iter
+    (fun (src, dst, tag) ->
+      Reliable.send shim ~src ~dst ~cls:Dcs_proto.Msg_class.Copy_grant
+        ~describe:(fun () -> tag)
+        (fun () -> got := tag :: !got))
+    [ (0, 1, "a1"); (1, 0, "b1"); (0, 1, "a2"); (2, 1, "c1"); (1, 0, "b2") ];
+  ignore (Dcs_sim.Engine.run engine);
+  checki "all delivered" 5 (List.length !got);
+  let order_of tag = List.length (List.filter (fun t -> t < tag) (List.rev !got)) in
+  checkb "a1 before a2" true (order_of "a1" < order_of "a2");
+  checkb "b1 before b2" true (order_of "b1" < order_of "b2");
+  Alcotest.check Alcotest.(list string) "drained" [] (Reliable.quiescent_violations shim)
+
+(* A lossless link must add no retransmits and still quiesce. *)
+let test_reliable_clean_link_no_overhead () =
+  let engine = Dcs_sim.Engine.create () in
+  let below ~src:_ ~dst:_ ~cls:_ ~describe:_ k = Dcs_sim.Engine.schedule engine ~after:2.0 k in
+  let shim = Reliable.create ~engine ~below () in
+  let n = ref 0 in
+  for _ = 1 to 20 do
+    Reliable.send shim ~src:3 ~dst:4 ~cls:Dcs_proto.Msg_class.Release
+      ~describe:(fun () -> "x")
+      (fun () -> incr n)
+  done;
+  ignore (Dcs_sim.Engine.run engine);
+  checki "all delivered" 20 !n;
+  let s = Reliable.stats shim in
+  checki "no retransmits on a clean link" 0 s.Reliable.retransmits;
+  checki "no duplicates" 0 s.Reliable.duplicates_dropped
+
+(* {1 Audit} *)
+
+let good_view =
+  {
+    Audit.lock = 0;
+    token_holders = [ 2 ];
+    tokens_in_flight = 0;
+    held = [ (0, Dcs_modes.Mode.IR); (1, Dcs_modes.Mode.R) ];
+    cached = [ (2, Dcs_modes.Mode.R) ];
+    queued = 1;
+    pending = 1;
+  }
+
+let audit_of views =
+  let engine = Dcs_sim.Engine.create () in
+  Audit.create ~engine ~max_queued:4
+    ~snapshot:(fun () -> views)
+    ~live:(fun () -> false)
+    ()
+
+let test_audit_clean () =
+  let a = audit_of [ good_view ] in
+  Audit.check_now a;
+  Audit.check_now a;
+  checki "samples" 2 (Audit.samples a);
+  Alcotest.check Alcotest.(list string) "no violations" [] (Audit.violations a)
+
+let test_audit_detects () =
+  let dup_token = { good_view with Audit.token_holders = [ 2; 5 ] } in
+  let lost_token = { good_view with Audit.token_holders = []; tokens_in_flight = 0 } in
+  let incompatible =
+    { good_view with Audit.held = [ (0, Dcs_modes.Mode.W) ]; cached = [ (1, Dcs_modes.Mode.R) ] }
+  in
+  let flooded = { good_view with Audit.queued = 99 } in
+  List.iter
+    (fun (label, view) ->
+      let a = audit_of [ view ] in
+      Audit.check_now a;
+      checkb (label ^ " caught") true (Audit.violations a <> []))
+    [
+      ("duplicated token", dup_token);
+      ("lost token", lost_token);
+      ("incompatible modes", incompatible);
+      ("unbounded queue", flooded);
+    ];
+  (* In-flight transfers count toward token conservation. *)
+  let in_flight = { good_view with Audit.token_holders = []; tokens_in_flight = 1 } in
+  let a = audit_of [ in_flight ] in
+  Audit.check_now a;
+  Alcotest.check Alcotest.(list string) "in-flight token is fine" [] (Audit.violations a)
+
+let test_audit_caps_reports () =
+  let bad = { good_view with Audit.token_holders = [ 1; 2 ] } in
+  let a =
+    let engine = Dcs_sim.Engine.create () in
+    Audit.create ~engine ~max_violations:3
+      ~snapshot:(fun () -> [ bad ])
+      ~live:(fun () -> false)
+      ()
+  in
+  for _ = 1 to 10 do
+    Audit.check_now a
+  done;
+  checki "capped plus summary line" 4 (List.length (Audit.violations a))
+
+(* {1 End-to-end chaos experiments} *)
+
+let chaos_config ~seed =
+  let cfg = Experiment.default_config ~driver:Experiment.Hierarchical ~nodes:8 in
+  {
+    cfg with
+    Experiment.seed;
+    workload = { cfg.Experiment.workload with Dcs_workload.Airline.ops_per_node = 8; entries = 4 };
+  }
+
+let run_chaos ~seed name =
+  let cfg = chaos_config ~seed in
+  let horizon = Experiment.horizon_estimate cfg in
+  let plan = Option.get (Plan.named ~nodes:8 ~horizon name) in
+  let cfg = { cfg with Experiment.chaos = Some (Experiment.chaos plan) } in
+  let trace = Dcs_sim.Trace.create ~capacity:64 ~enabled:true () in
+  let result = Experiment.run ~trace cfg in
+  (result, Dcs_sim.Trace.digest trace)
+
+(* Every shipped plan: all ops complete, zero audit violations. *)
+let test_chaos_plans_clean () =
+  List.iter
+    (fun name ->
+      let result, _ = run_chaos ~seed:21L name in
+      checki (name ^ " all ops") (8 * 8) result.Experiment.ops;
+      let rep = Option.get result.Experiment.chaos_report in
+      checkb (name ^ " sampled") true (rep.Experiment.audit_samples > 0);
+      Alcotest.check
+        Alcotest.(list string)
+        (name ^ " audit clean") [] rep.Experiment.audit_violations)
+    Plan.names
+
+(* Same seed + same plan ⇒ identical trace digest; and the plan actually
+   perturbs the run (digest differs from the fault-free one). *)
+let test_chaos_determinism () =
+  List.iter
+    (fun name ->
+      let _, d1 = run_chaos ~seed:9L name in
+      let _, d2 = run_chaos ~seed:9L name in
+      Alcotest.check Alcotest.int64 (name ^ " digest reproduces") d1 d2;
+      let _, d3 = run_chaos ~seed:10L name in
+      checkb (name ^ " seed matters") true (not (Int64.equal d1 d3)))
+    [ "heal-partition"; "lossy-dup" ]
+
+let test_chaos_rejects_bad_configs () =
+  let cfg = chaos_config ~seed:1L in
+  let w = { Plan.start = 0.0; duration = 1000.0 } in
+  let lossy = [ Plan.Drop { window = w; prob = 0.5; scope = Plan.All } ] in
+  let unshielded =
+    { cfg with Experiment.chaos = Some (Experiment.chaos ~reliable:false lossy) }
+  in
+  checkb "lossy plan without shim rejected" true
+    (match Experiment.run unshielded with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let naimi =
+    {
+      (Experiment.default_config ~driver:Experiment.Naimi_pure ~nodes:4) with
+      Experiment.chaos = Some (Experiment.chaos lossy);
+    }
+  in
+  checkb "chaos under naimi rejected" true
+    (match Experiment.run naimi with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* The shim's wire overhead is visible in the standard message counters
+   under their own classes. *)
+let test_chaos_overhead_accounted () =
+  let result, _ = run_chaos ~seed:33L "lossy-dup" in
+  let rep = Option.get result.Experiment.chaos_report in
+  let stats = Option.get rep.Experiment.reliable_stats in
+  let count cls = try List.assoc cls result.Experiment.messages with Not_found -> 0 in
+  checki "acks on the wire" stats.Reliable.acks (count Dcs_proto.Msg_class.Ack);
+  checki "retransmits on the wire" stats.Reliable.retransmits
+    (count Dcs_proto.Msg_class.Retransmit);
+  checkb "overhead reported" true (rep.Experiment.shim_overhead > 0.0);
+  checkb "faults actually fired" true (rep.Experiment.net_dropped > 0)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "net-faults",
+        [
+          Alcotest.test_case "hold and flush" `Quick test_net_hold_flush;
+          Alcotest.test_case "drop and duplicate" `Quick test_net_drop_duplicate;
+          Alcotest.test_case "latency spike keeps FIFO" `Quick test_net_latency_spike_fifo;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "windows and shim flag" `Quick test_plan_windows_and_shim;
+          Alcotest.test_case "install partition" `Quick test_plan_install_partition;
+        ] );
+      ( "reliable",
+        [
+          Alcotest.test_case "scripted adversary" `Quick test_reliable_adversary;
+          Alcotest.test_case "independent pairs" `Quick test_reliable_pairs_independent;
+          Alcotest.test_case "clean link no overhead" `Quick test_reliable_clean_link_no_overhead;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "clean views" `Quick test_audit_clean;
+          Alcotest.test_case "detects violations" `Quick test_audit_detects;
+          Alcotest.test_case "caps reports" `Quick test_audit_caps_reports;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "all plans clean" `Slow test_chaos_plans_clean;
+          Alcotest.test_case "determinism" `Slow test_chaos_determinism;
+          Alcotest.test_case "bad configs rejected" `Quick test_chaos_rejects_bad_configs;
+          Alcotest.test_case "overhead accounted" `Slow test_chaos_overhead_accounted;
+        ] );
+    ]
