@@ -1,153 +1,20 @@
 (* Benchmark harness.
 
    Part 1 (Bechamel): microbenchmarks of the building blocks — one group
-   per protocol table plus engine/protocol hot paths.
+   per protocol table (derivational and precomputed fast path) plus
+   engine/protocol hot paths. The suite itself lives in suite.ml, shared
+   with the machine-readable report (report.ml).
    Part 2 (figures): regenerates every figure of the paper's evaluation
    (Figures 5, 6, 7), prints the decision tables (Tables 1a-2b) and the
    ablation study. Set BENCH_QUICK=1 to sweep only up to 32 nodes.
 
    Run with:  dune exec bench/main.exe *)
 
-open Bechamel
-open Toolkit
-
-(* {1 Microbenchmarks} *)
-
-let mode_pairs =
-  List.concat_map (fun a -> List.map (fun b -> (a, b)) Dcs_modes.Mode.all) Dcs_modes.Mode.all
-
-(* Table 1(a): compatibility lookups. *)
-let bench_table_1a =
-  Test.make ~name:"table-1a compatibility"
-    (Staged.stage (fun () ->
-         List.iter (fun (a, b) -> ignore (Dcs_modes.Compat.compatible a b)) mode_pairs))
-
-(* Table 1(b): child-grant decisions. *)
-let bench_table_1b =
-  Test.make ~name:"table-1b child grant"
-    (Staged.stage (fun () ->
-         List.iter
-           (fun (a, b) -> ignore (Dcs_modes.Compat.can_child_grant ~owned:(Some a) b))
-           mode_pairs))
-
-(* Table 2(a): queue/forward decisions. *)
-let bench_table_2a =
-  Test.make ~name:"table-2a queue/forward"
-    (Staged.stage (fun () ->
-         List.iter
-           (fun (a, b) -> ignore (Dcs_modes.Compat.queueable ~pending:(Some a) b))
-           mode_pairs))
-
-(* Table 2(b): freeze-set computation. *)
-let bench_table_2b =
-  Test.make ~name:"table-2b freeze set"
-    (Staged.stage (fun () ->
-         List.iter
-           (fun (a, b) -> ignore (Dcs_modes.Compat.freeze_set ~owned:(Some a) b))
-           mode_pairs))
-
-let bench_mode_set =
-  Test.make ~name:"mode-set algebra"
-    (Staged.stage (fun () ->
-         let open Dcs_modes in
-         let s = Mode_set.of_list [ Mode.IR; Mode.R ] in
-         let t = Mode_set.of_list [ Mode.R; Mode.W ] in
-         ignore (Mode_set.union s t);
-         ignore (Mode_set.inter s t);
-         ignore (Mode_set.diff s t)))
-
-let bench_engine =
-  Test.make ~name:"engine 1k events"
-    (Staged.stage (fun () ->
-         let e = Dcs_sim.Engine.create () in
-         for i = 1 to 1000 do
-           Dcs_sim.Engine.schedule e ~after:(float_of_int (i mod 17)) (fun () -> ())
-         done;
-         ignore (Dcs_sim.Engine.run e)))
-
-(* One full request/grant/release round trip on an 8-node simulated
-   cluster: the protocol hot path end-to-end. *)
-let bench_hlock_roundtrip =
-  Test.make ~name:"hlock request round trip"
-    (Staged.stage
-       (let counter = ref 0 in
-        fun () ->
-          incr counter;
-          let engine = Dcs_sim.Engine.create () in
-          let rng = Dcs_sim.Rng.create ~seed:(Int64.of_int !counter) in
-          let net =
-            Dcs_runtime.Net.create ~engine ~latency:(Dcs_sim.Dist.Constant 1.0) ~rng ()
-          in
-          let cluster = Dcs_runtime.Hlock_cluster.create ~net ~nodes:8 ~locks:1 () in
-          for node = 1 to 7 do
-            let seq = ref (-1) in
-            seq :=
-              Dcs_runtime.Hlock_cluster.request cluster ~node ~lock:0 ~mode:Dcs_modes.Mode.R
-                ~on_granted:(fun () ->
-                  Dcs_runtime.Hlock_cluster.release cluster ~node ~lock:0 ~seq:!seq)
-          done;
-          ignore (Dcs_sim.Engine.run engine)))
-
-let bench_naimi_roundtrip =
-  Test.make ~name:"naimi request round trip"
-    (Staged.stage
-       (let counter = ref 0 in
-        fun () ->
-          incr counter;
-          let engine = Dcs_sim.Engine.create () in
-          let rng = Dcs_sim.Rng.create ~seed:(Int64.of_int !counter) in
-          let net =
-            Dcs_runtime.Net.create ~engine ~latency:(Dcs_sim.Dist.Constant 1.0) ~rng ()
-          in
-          let cluster = Dcs_runtime.Naimi_cluster.create ~net ~nodes:8 ~locks:1 () in
-          for node = 1 to 7 do
-            Dcs_runtime.Naimi_cluster.request cluster ~node ~lock:0 ~on_acquired:(fun () ->
-                Dcs_runtime.Naimi_cluster.release cluster ~node ~lock:0)
-          done;
-          ignore (Dcs_sim.Engine.run engine)))
-
-(* 100 messages through the reliable-delivery shim over a clean 1 ms
-   link: the per-message cost of the seq/ack/dedup machinery alone. *)
-let bench_reliable_shim =
-  Test.make ~name:"reliable shim 100 msgs"
-    (Staged.stage (fun () ->
-         let engine = Dcs_sim.Engine.create () in
-         let below ~src:_ ~dst:_ ~cls:_ ~describe:_ k =
-           Dcs_sim.Engine.schedule engine ~after:1.0 k
-         in
-         let shim = Dcs_fault.Reliable.create ~engine ~below () in
-         for _ = 1 to 100 do
-           Dcs_fault.Reliable.send shim ~src:0 ~dst:1 ~cls:Dcs_proto.Msg_class.Request
-             ~describe:(fun () -> "bench") (fun () -> ())
-         done;
-         ignore (Dcs_sim.Engine.run engine)))
-
 let run_microbenches () =
-  let tests =
-    Test.make_grouped ~name:"dcs"
-      [
-        bench_table_1a;
-        bench_table_1b;
-        bench_table_2a;
-        bench_table_2b;
-        bench_mode_set;
-        bench_engine;
-        bench_hlock_roundtrip;
-        bench_naimi_roundtrip;
-        bench_reliable_shim;
-      ]
-  in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 10) () in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
-  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
   Printf.printf "Microbenchmarks (monotonic clock):\n";
-  Hashtbl.iter
-    (fun name result ->
-      match Analyze.OLS.estimates result with
-      | Some [ est ] -> Printf.printf "  %-32s %14.1f ns/run\n" name est
-      | _ -> Printf.printf "  %-32s (no estimate)\n" name)
-    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "  %-32s %14.1f ns/run\n" name est)
+    (Suite.run ());
   print_newline ()
 
 (* {1 The paper's figures} *)

@@ -1,0 +1,143 @@
+(* Machine-readable performance report.
+
+     dune exec bench/report.exe -- [-o FILE] [--before FILE] [--label S]
+                                   [--quota S] [--smoke]
+
+   Measures the shared microbenchmark suite (suite.ml, ns/run) and the
+   figure-sweep wall clocks (quick node list, sequential and parallel),
+   checks that the parallel sweep reproduces the sequential one exactly,
+   and writes everything as one JSON object. With [--before FILE] the
+   (JSON) contents of FILE are embedded verbatim under "before", so a
+   report generated at one commit can be carried forward for
+   side-by-side comparison — BENCH_baseline.json at the repo root is
+   exactly such a report. [--smoke] shrinks the run to a seconds-long CI
+   check (tiny quota, one 16-node sweep row fanned over 2 domains) and
+   is what the @bench-smoke alias runs. *)
+
+let now () = Unix.gettimeofday ()
+
+(* {1 Minimal JSON emission} *)
+
+let buf_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_kv b ~last key value =
+  Buffer.add_string b "    \"";
+  buf_escape b key;
+  Buffer.add_string b "\": ";
+  Buffer.add_string b value;
+  if not last then Buffer.add_char b ',';
+  Buffer.add_char b '\n'
+
+let obj_of_assoc ~render kvs =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\n";
+  let n = List.length kvs in
+  List.iteri (fun i (k, v) -> add_kv b ~last:(i = n - 1) k (render v)) kvs;
+  Buffer.add_string b "  }";
+  Buffer.contents b
+
+let fl v = Printf.sprintf "%.6f" v
+
+(* {1 Measurements} *)
+
+let time_it f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+type sweep_timing = { name : string; seq_s : float; par_s : float }
+
+let sweep_timings ~jobs ~nodes () =
+  let figs =
+    [
+      ("fig5", fun ~jobs () -> ignore (Dcs_runtime.Figures.fig5 ~nodes ~jobs ()));
+      ("fig6", fun ~jobs () -> ignore (Dcs_runtime.Figures.fig6 ~nodes ~jobs ()));
+      ("fig7", fun ~jobs () -> ignore (Dcs_runtime.Figures.fig7 ~nodes ~jobs ()));
+    ]
+  in
+  List.map
+    (fun (name, run) ->
+      let (), seq_s = time_it (fun () -> run ~jobs:1 ()) in
+      let (), par_s = time_it (fun () -> run ~jobs ()) in
+      { name; seq_s; par_s })
+    figs
+
+(* The determinism gate: the same grid at jobs 1 and [jobs] must produce
+   structurally identical series (every stat of every cell). *)
+let parallel_matches ~jobs ~nodes () =
+  let seq = Dcs_runtime.Figures.fig5 ~nodes ~jobs:1 () |> fst in
+  let par = Dcs_runtime.Figures.fig5 ~nodes ~jobs () |> fst in
+  seq = par
+
+let () =
+  let out = ref None
+  and before = ref None
+  and label = ref "current"
+  and quota = ref 0.25
+  and smoke = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "-o" :: f :: rest -> out := Some f; parse rest
+    | "--before" :: f :: rest -> before := Some f; parse rest
+    | "--label" :: s :: rest -> label := s; parse rest
+    | "--quota" :: s :: rest -> quota := float_of_string s; parse rest
+    | "--smoke" :: rest -> smoke := true; parse rest
+    | a :: _ -> Printf.eprintf "unknown argument %S\n" a; exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let smoke = !smoke || Sys.getenv_opt "BENCH_QUICK" <> None in
+  let cores = Domain.recommended_domain_count () in
+  let jobs = if smoke then 2 else max 2 cores in
+  let nodes = if smoke then [ 16 ] else Dcs_runtime.Figures.quick_nodes in
+  let quota = if smoke then min !quota 0.05 else !quota in
+  let micro = Suite.run ~quota () in
+  let sweeps = sweep_timings ~jobs ~nodes () in
+  let matches = parallel_matches ~jobs ~nodes () in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  add_kv b ~last:false "schema" "\"dcs-bench-report/1\"";
+  add_kv b ~last:false "label" (let bb = Buffer.create 32 in Buffer.add_char bb '"'; buf_escape bb !label; Buffer.add_char bb '"'; Buffer.contents bb);
+  add_kv b ~last:false "cores" (string_of_int cores);
+  add_kv b ~last:false "jobs" (string_of_int jobs);
+  add_kv b ~last:false "smoke" (string_of_bool smoke);
+  add_kv b ~last:false "sweep_nodes" ("[" ^ String.concat ", " (List.map string_of_int nodes) ^ "]");
+  add_kv b ~last:false "parallel_matches_sequential" (string_of_bool matches);
+  add_kv b ~last:false "microbench_ns_per_run"
+    (obj_of_assoc ~render:fl (List.map (fun (k, v) -> (k, v)) micro));
+  let sweep_kvs =
+    List.concat_map
+      (fun s -> [ (s.name ^ "_jobs1_s", s.seq_s); (Printf.sprintf "%s_jobs%d_s" s.name jobs, s.par_s) ])
+      sweeps
+  in
+  let last = !before = None in
+  add_kv b ~last "sweep_wall_clock_s" (obj_of_assoc ~render:fl sweep_kvs);
+  (match !before with
+  | None -> ()
+  | Some file ->
+      let ic = open_in_bin file in
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      add_kv b ~last:true "before" (String.trim contents));
+  Buffer.add_string b "}\n";
+  let json = Buffer.contents b in
+  (match !out with
+  | None -> print_string json
+  | Some f ->
+      let oc = open_out f in
+      output_string oc json;
+      close_out oc;
+      Printf.eprintf "wrote %s\n" f);
+  if not matches then begin
+    Printf.eprintf "FAIL: parallel sweep diverged from sequential\n";
+    exit 1
+  end

@@ -1,0 +1,207 @@
+(* The microbenchmark suite, shared by the human-readable harness
+   (main.ml) and the machine-readable report (report.ml): one group per
+   protocol decision table (derivational Compat vs precomputed Decision)
+   plus the simulator and protocol hot paths. *)
+
+open Bechamel
+open Toolkit
+
+let mode_pairs =
+  List.concat_map (fun a -> List.map (fun b -> (a, b)) Dcs_modes.Mode.all) Dcs_modes.Mode.all
+
+(* Table 1(a): compatibility lookups. *)
+let bench_table_1a =
+  Test.make ~name:"table-1a compatibility"
+    (Staged.stage (fun () ->
+         List.iter (fun (a, b) -> ignore (Dcs_modes.Compat.compatible a b)) mode_pairs))
+
+(* Table 1(b): child-grant decisions. *)
+let bench_table_1b =
+  Test.make ~name:"table-1b child grant"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun (a, b) -> ignore (Dcs_modes.Compat.can_child_grant ~owned:(Some a) b))
+           mode_pairs))
+
+(* Table 2(a): queue/forward decisions. *)
+let bench_table_2a =
+  Test.make ~name:"table-2a queue/forward"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun (a, b) -> ignore (Dcs_modes.Compat.queueable ~pending:(Some a) b))
+           mode_pairs))
+
+(* Table 2(b): freeze-set computation. *)
+let bench_table_2b =
+  Test.make ~name:"table-2b freeze set"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun (a, b) -> ignore (Dcs_modes.Compat.freeze_set ~owned:(Some a) b))
+           mode_pairs))
+
+(* Fast-path counterparts: the same decisions through the precomputed
+   Decision lookup arrays (owned codes kept as ints, as Node does). *)
+let code_pairs =
+  List.map (fun (a, b) -> (Dcs_modes.Decision.code_of_mode a, b)) mode_pairs
+
+let bench_decision_1a =
+  Test.make ~name:"decision-1a compatibility"
+    (Staged.stage (fun () ->
+         List.iter (fun (a, b) -> ignore (Dcs_modes.Decision.compatible a b)) mode_pairs))
+
+let bench_decision_1b =
+  Test.make ~name:"decision-1b child grant"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun (c, b) -> ignore (Dcs_modes.Decision.can_child_grant ~owned:c b))
+           code_pairs))
+
+let bench_decision_2a =
+  Test.make ~name:"decision-2a queue/forward"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun (c, b) -> ignore (Dcs_modes.Decision.queueable ~pending:c b))
+           code_pairs))
+
+let bench_decision_2b =
+  Test.make ~name:"decision-2b freeze set"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun (c, b) -> ignore (Dcs_modes.Decision.freeze_set ~owned:c b))
+           code_pairs))
+
+let bench_mode_set =
+  Test.make ~name:"mode-set algebra"
+    (Staged.stage (fun () ->
+         let open Dcs_modes in
+         let s = Mode_set.of_list [ Mode.IR; Mode.R ] in
+         let t = Mode_set.of_list [ Mode.R; Mode.W ] in
+         ignore (Mode_set.union s t);
+         ignore (Mode_set.inter s t);
+         ignore (Mode_set.diff s t)))
+
+let bench_engine =
+  Test.make ~name:"engine 1k events"
+    (Staged.stage (fun () ->
+         let e = Dcs_sim.Engine.create () in
+         for i = 1 to 1000 do
+           Dcs_sim.Engine.schedule e ~after:(float_of_int (i mod 17)) (fun () -> ())
+         done;
+         ignore (Dcs_sim.Engine.run e)))
+
+(* 1k records into a capacity-bounded trace: the eviction path that every
+   long traced soak lives on (ring overwrite, no re-filtering). *)
+let bench_trace =
+  Test.make ~name:"trace 1k records (cap 64)"
+    (Staged.stage (fun () ->
+         let tr = Dcs_sim.Trace.create ~capacity:64 ~enabled:true () in
+         for i = 1 to 1000 do
+           Dcs_sim.Trace.record tr ~time:(float_of_int i) (fun () -> "event")
+         done;
+         ignore (Dcs_sim.Trace.digest tr)))
+
+(* 1k add/pop pairs through the generic heap (the engine uses its own
+   monomorphic copy; this tracks the shared structure). *)
+let bench_pqueue =
+  Test.make ~name:"pqueue 1k add+pop"
+    (Staged.stage (fun () ->
+         let q = Dcs_sim.Pqueue.create ~compare:Int.compare in
+         for i = 1 to 1000 do
+           Dcs_sim.Pqueue.add q (i * 7919 mod 1000) i
+         done;
+         while not (Dcs_sim.Pqueue.is_empty q) do
+           Dcs_sim.Pqueue.remove_min q
+         done))
+
+(* One full request/grant/release round trip on an 8-node simulated
+   cluster: the protocol hot path end-to-end. *)
+let bench_hlock_roundtrip =
+  Test.make ~name:"hlock request round trip"
+    (Staged.stage
+       (let counter = ref 0 in
+        fun () ->
+          incr counter;
+          let engine = Dcs_sim.Engine.create () in
+          let rng = Dcs_sim.Rng.create ~seed:(Int64.of_int !counter) in
+          let net =
+            Dcs_runtime.Net.create ~engine ~latency:(Dcs_sim.Dist.Constant 1.0) ~rng ()
+          in
+          let cluster = Dcs_runtime.Hlock_cluster.create ~net ~nodes:8 ~locks:1 () in
+          for node = 1 to 7 do
+            let seq = ref (-1) in
+            seq :=
+              Dcs_runtime.Hlock_cluster.request cluster ~node ~lock:0 ~mode:Dcs_modes.Mode.R
+                ~on_granted:(fun () ->
+                  Dcs_runtime.Hlock_cluster.release cluster ~node ~lock:0 ~seq:!seq)
+          done;
+          ignore (Dcs_sim.Engine.run engine)))
+
+let bench_naimi_roundtrip =
+  Test.make ~name:"naimi request round trip"
+    (Staged.stage
+       (let counter = ref 0 in
+        fun () ->
+          incr counter;
+          let engine = Dcs_sim.Engine.create () in
+          let rng = Dcs_sim.Rng.create ~seed:(Int64.of_int !counter) in
+          let net =
+            Dcs_runtime.Net.create ~engine ~latency:(Dcs_sim.Dist.Constant 1.0) ~rng ()
+          in
+          let cluster = Dcs_runtime.Naimi_cluster.create ~net ~nodes:8 ~locks:1 () in
+          for node = 1 to 7 do
+            Dcs_runtime.Naimi_cluster.request cluster ~node ~lock:0 ~on_acquired:(fun () ->
+                Dcs_runtime.Naimi_cluster.release cluster ~node ~lock:0)
+          done;
+          ignore (Dcs_sim.Engine.run engine)))
+
+(* 100 messages through the reliable-delivery shim over a clean 1 ms
+   link: the per-message cost of the seq/ack/dedup machinery alone. *)
+let bench_reliable_shim =
+  Test.make ~name:"reliable shim 100 msgs"
+    (Staged.stage (fun () ->
+         let engine = Dcs_sim.Engine.create () in
+         let below ~src:_ ~dst:_ ~cls:_ ~describe:_ k =
+           Dcs_sim.Engine.schedule engine ~after:1.0 k
+         in
+         let shim = Dcs_fault.Reliable.create ~engine ~below () in
+         for _ = 1 to 100 do
+           Dcs_fault.Reliable.send shim ~src:0 ~dst:1 ~cls:Dcs_proto.Msg_class.Request
+             ~describe:(fun () -> "bench") (fun () -> ())
+         done;
+         ignore (Dcs_sim.Engine.run engine)))
+
+let all =
+  [
+    bench_table_1a;
+    bench_table_1b;
+    bench_table_2a;
+    bench_table_2b;
+    bench_decision_1a;
+    bench_decision_1b;
+    bench_decision_2a;
+    bench_decision_2b;
+    bench_mode_set;
+    bench_engine;
+    bench_trace;
+    bench_pqueue;
+    bench_hlock_roundtrip;
+    bench_naimi_roundtrip;
+    bench_reliable_shim;
+  ]
+
+(* Run the whole suite; [quota] is the per-test measurement budget in
+   seconds. Returns (name, ns/run) sorted by name. *)
+let run ?(quota = 0.25) () =
+  let tests = Test.make_grouped ~name:"dcs" all in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~kde:(Some 10) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let out = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> out := (name, est) :: !out
+      | _ -> ())
+    results;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !out

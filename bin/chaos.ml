@@ -70,27 +70,50 @@ let report ~name ~cfg ~plan ~result ~digest =
   Printf.printf "digest    : %Lx\n\n" digest;
   rep.Experiment.audit_violations = []
 
-let main plans nodes ops entries seed period quick verify =
+let main plans nodes ops entries seed period quick verify jobs =
   let quick = quick || Sys.getenv_opt "CHAOS_QUICK" <> None in
   let nodes = if quick then min nodes 12 else nodes in
   let ops = if quick then min ops 12 else ops in
   let plans = if plans = [] then Plan.names else plans in
-  let ok = ref true in
+  (* Validate names before fanning out (run_plan exits on unknown names,
+     which must not happen inside a worker domain). *)
   List.iter
     (fun name ->
-      let cfg = build_config ~nodes ~ops ~entries ~seed in
-      let result, plan, digest = run_plan ~cfg ~period ~name in
-      if not (report ~name ~cfg ~plan ~result ~digest) then ok := false;
-      if verify then begin
-        let _, _, digest' = run_plan ~cfg ~period ~name in
-        if Int64.equal digest digest' then
-          Printf.printf "verify    : digest reproduced (%Lx)\n\n" digest'
-        else begin
-          Printf.printf "verify    : DIGEST MISMATCH %Lx vs %Lx\n\n" digest digest';
-          ok := false
-        end
+      if not (List.mem name Plan.names) then begin
+        Printf.eprintf "unknown plan %S (known: %s)\n" name (String.concat ", " Plan.names);
+        exit 2
       end)
     plans;
+  (* Each plan is an independent soak (own engine, RNGs, net): fan them
+     over domains; reports print afterwards in plan order. *)
+  let outcomes =
+    Dcs_netkit.Parallel.map ~jobs
+      (fun name ->
+        let cfg = build_config ~nodes ~ops ~entries ~seed in
+        let result, plan, digest = run_plan ~cfg ~period ~name in
+        let verified =
+          if verify then
+            let _, _, digest' = run_plan ~cfg ~period ~name in
+            Some digest'
+          else None
+        in
+        (name, cfg, result, plan, digest, verified))
+      (Array.of_list plans)
+  in
+  let ok = ref true in
+  Array.iter
+    (fun (name, cfg, result, plan, digest, verified) ->
+      if not (report ~name ~cfg ~plan ~result ~digest) then ok := false;
+      match verified with
+      | None -> ()
+      | Some digest' ->
+          if Int64.equal digest digest' then
+            Printf.printf "verify    : digest reproduced (%Lx)\n\n" digest'
+          else begin
+            Printf.printf "verify    : DIGEST MISMATCH %Lx vs %Lx\n\n" digest digest';
+            ok := false
+          end)
+    outcomes;
   if !ok then 0 else 1
 
 let plans_arg =
@@ -116,12 +139,21 @@ let quick_flag =
 let verify_flag =
   Arg.(value & flag & info [ "verify" ] ~doc:"Rerun each plan with the same seed and compare trace digests.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains; each fault plan soaks in its own domain. Results are \
+           identical for every value.")
+
 let () =
   let doc = "Chaos soaks for the hierarchical locking protocol: fault plans + invariant audit." in
   let info = Cmd.info "dcs-chaos" ~version:"1.0.0" ~doc in
   let term =
     Term.(
       const main $ plans_arg $ nodes_arg $ ops_arg $ entries_arg $ seed_arg $ period_arg
-      $ quick_flag $ verify_flag)
+      $ quick_flag $ verify_flag $ jobs_arg)
   in
   exit (Cmd.eval' (Cmd.v info term))

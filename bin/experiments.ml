@@ -18,6 +18,15 @@ let quick_flag =
 let seed_arg =
   Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for independent sweep cells (default: recommended domain \
+           count). Results are identical for every value.")
+
 let csv_arg =
   Arg.(
     value
@@ -36,34 +45,34 @@ let emit_csv csv series =
       Printf.printf "\n(wrote %s)\n" file
 
 let fig5_cmd =
-  let run quick seed csv =
-    let series, report = Figures.fig5 ~nodes:(nodes_of quick) ~seed () in
+  let run quick seed jobs csv =
+    let series, report = Figures.fig5 ~nodes:(nodes_of quick) ~seed ~jobs () in
     print_string report;
     emit_csv csv series
   in
   Cmd.v
     (Cmd.info "fig5" ~doc:"Reproduce Figure 5: message overhead vs number of nodes.")
-    Term.(const run $ quick_flag $ seed_arg $ csv_arg)
+    Term.(const run $ quick_flag $ seed_arg $ jobs_arg $ csv_arg)
 
 let fig6_cmd =
-  let run quick seed csv =
-    let series, report = Figures.fig6 ~nodes:(nodes_of quick) ~seed () in
+  let run quick seed jobs csv =
+    let series, report = Figures.fig6 ~nodes:(nodes_of quick) ~seed ~jobs () in
     print_string report;
     emit_csv csv series
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Reproduce Figure 6: request latency factor vs number of nodes.")
-    Term.(const run $ quick_flag $ seed_arg $ csv_arg)
+    Term.(const run $ quick_flag $ seed_arg $ jobs_arg $ csv_arg)
 
 let fig7_cmd =
-  let run quick seed csv =
-    let series, report = Figures.fig7 ~nodes:(nodes_of quick) ~seed () in
+  let run quick seed jobs csv =
+    let series, report = Figures.fig7 ~nodes:(nodes_of quick) ~seed ~jobs () in
     print_string report;
     emit_csv csv [ series ]
   in
   Cmd.v
     (Cmd.info "fig7" ~doc:"Reproduce Figure 7: message breakdown vs number of nodes.")
-    Term.(const run $ quick_flag $ seed_arg $ csv_arg)
+    Term.(const run $ quick_flag $ seed_arg $ jobs_arg $ csv_arg)
 
 let tables_cmd =
   Cmd.v

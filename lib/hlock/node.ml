@@ -30,7 +30,12 @@ type t = {
   (* Best-effort mirror of the mode the accounting parent records for us;
      Rule 5.2 sends a release exactly when owned drops below it. *)
   mutable last_reported : Mode.t option;
-  mutable held : (int * Mode.t) list;
+  (* Held instances, seq → mode. A Hashtbl (not an assoc list) so release
+     and upgrade are O(1) under many concurrently held grants; the
+     per-mode multiset [held_counts] (indexed by Mode.index) makes the
+     strongest-held computation an allocation-free 5-slot scan. *)
+  held : (int, Mode.t) Hashtbl.t;
+  held_counts : int array;
   (* Modes granted to this node that no local client currently holds, kept
      in the copyset Li/Hudak-style so re-acquisition is message-free
      (Rule 2); dropped on freeze/conflict (revocation). *)
@@ -81,7 +86,8 @@ let create ?(config = default_config) ~id ~peers ~is_token ~parent ~send ~on_gra
     accounted_parent = None;
     accounted_epoch = 0;
     last_reported = None;
-    held = [];
+    held = Hashtbl.create 8;
+    held_counts = Array.make 5 0;
     cached = Mode_set.empty;
     children = Hashtbl.create 8;
     queue = [];
@@ -106,10 +112,32 @@ let create ?(config = default_config) ~id ~peers ~is_token ~parent ~send ~on_gra
 let id t = t.id
 let is_token t = t.token
 let parent t = t.parent
-let held t = t.held
+
+let held t =
+  Hashtbl.fold (fun seq m acc -> (seq, m) :: acc) t.held []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let queue t = t.queue
 let frozen t = t.frozen
 let pending t = t.pending
+
+(* Held-multiset maintenance: every mutation of [t.held] goes through
+   these so [held_counts] can never drift. *)
+
+let held_add t seq m =
+  (match Hashtbl.find_opt t.held seq with
+  | Some old -> t.held_counts.(Mode.index old) <- t.held_counts.(Mode.index old) - 1
+  | None -> ());
+  Hashtbl.replace t.held seq m;
+  t.held_counts.(Mode.index m) <- t.held_counts.(Mode.index m) + 1
+
+let held_remove t seq =
+  match Hashtbl.find_opt t.held seq with
+  | None -> None
+  | Some m ->
+      Hashtbl.remove t.held seq;
+      t.held_counts.(Mode.index m) <- t.held_counts.(Mode.index m) - 1;
+      Some m
 
 let accounting t =
   match t.accounted_parent with None -> None | Some p -> Some (p, t.accounted_epoch)
@@ -120,26 +148,54 @@ let children t =
 
 let cached t = Mode_set.to_list t.cached
 
-let owned t =
-  let o = Compat.strongest (List.map snd t.held @ cached t) in
-  Hashtbl.fold (fun _ (m, _) acc -> Compat.max_mode acc (Some m)) t.children o
+(* Owned mode (Definition 3) as a Decision code, allocation-free. The
+   held/cached scan walks mode indices in descending order, which is
+   non-increasing strength (W, IW, U, R, IR), so the first hit is the
+   strongest; a correctly maintained copyset never holds the equal-strength
+   U and IW together (they conflict), so the tie order is immaterial. *)
+let owned_code t =
+  let best = ref 0 in
+  let i = ref 4 in
+  while !best = 0 && !i >= 0 do
+    if t.held_counts.(!i) > 0 || Mode_set.mem (Mode.of_index !i) t.cached then best := !i + 1;
+    decr i
+  done;
+  Hashtbl.iter
+    (fun _ (m, _) ->
+      let c = Decision.code_of_mode m in
+      if Decision.strength_of_code c > Decision.strength_of_code !best then best := c)
+    t.children;
+  !best
 
-(* Owned mode as seen when evaluating request [r]: an upgrade request masks
+let owned t = Decision.decode_owned (owned_code t)
+
+(* Owned code as seen when evaluating request [r]: an upgrade request masks
    the requester's own U contribution (Rule 7). Only one U exists system-wide
    (U conflicts with U), so masking by mode is unambiguous. *)
-let owned_for t (r : Msg.request) =
-  if not r.upgrade then owned t
+let owned_code_for t (r : Msg.request) =
+  if not r.upgrade then owned_code t
   else begin
-    let held_modes =
-      List.filter_map
-        (fun (seq, m) -> if r.requester = t.id && seq = r.seq then None else Some m)
-        t.held
+    let skip_idx =
+      if r.requester = t.id then
+        match Hashtbl.find_opt t.held r.seq with Some m -> Mode.index m | None -> -1
+      else -1
     in
-    let o = Compat.strongest (held_modes @ cached t) in
-    Hashtbl.fold
-      (fun c (m, _) acc ->
-        if c = r.requester && Mode.equal m Mode.U then acc else Compat.max_mode acc (Some m))
-      t.children o
+    let best = ref 0 in
+    let i = ref 4 in
+    while !best = 0 && !i >= 0 do
+      let n = t.held_counts.(!i) in
+      let n = if !i = skip_idx then n - 1 else n in
+      if n > 0 || Mode_set.mem (Mode.of_index !i) t.cached then best := !i + 1;
+      decr i
+    done;
+    Hashtbl.iter
+      (fun c (m, _) ->
+        if not (c = r.requester && Mode.equal m Mode.U) then begin
+          let code = Decision.code_of_mode m in
+          if Decision.strength_of_code code > Decision.strength_of_code !best then best := code
+        end)
+      t.children;
+    !best
   end
 
 let is_frozen t m = t.config.freezing && Mode_set.mem m t.frozen
@@ -148,7 +204,7 @@ let is_frozen t m = t.config.freezing && Mode_set.mem m t.frozen
    were dropped. A cache is a convenience copy — any conflicting request
    outranks it. *)
 let revoke_conflicting t m =
-  let doomed = Mode_set.filter (fun x -> not (Compat.compatible x m)) t.cached in
+  let doomed = Mode_set.inter t.cached (Decision.incompatible_bits m) in
   if Mode_set.is_empty doomed then false
   else begin
     t.cached <- Mode_set.diff t.cached doomed;
@@ -166,7 +222,7 @@ let pp_state ppf t =
     (match t.parent with None -> "_" | Some p -> string_of_int p)
     pp_owned (owned t)
     (String.concat ","
-       (List.map (fun (seq, m) -> Printf.sprintf "#%d:%s" seq (Mode.to_string m)) t.held))
+       (List.map (fun (seq, m) -> Printf.sprintf "#%d:%s" seq (Mode.to_string m)) (held t)))
     (String.concat ","
        (List.map (fun (c, m) -> Printf.sprintf "n%d:%s" c (Mode.to_string m)) (children t)))
     (List.length t.queue) Mode_set.pp t.frozen
@@ -205,7 +261,8 @@ let refresh_freezes t =
     if t.token then
       t.frozen <-
         List.fold_left
-          (fun acc (r : Msg.request) -> Mode_set.union acc (Compat.freeze_set ~owned:(owned_for t r) r.mode))
+          (fun acc (r : Msg.request) ->
+            Mode_set.union acc (Decision.freeze_set ~owned:(owned_code_for t r) r.mode))
           Mode_set.empty t.queue;
     let kids = children t in
     List.iter
@@ -220,7 +277,7 @@ let refresh_freezes t =
              in its subtree (no stronger than its recorded mode), must be
              frozen there — freezing both stops grants and revokes
              caches. *)
-          Mode_set.filter (fun m -> Mode.strength m <= Mode.strength cm) t.frozen
+          Mode_set.inter t.frozen (Decision.le_strength_bits cm)
         in
         let previous =
           match Hashtbl.find_opt t.sent_freeze c with None -> Mode_set.empty | Some s -> s
@@ -243,10 +300,12 @@ let report_owned t ~force =
     match t.accounted_parent with
     | None -> ()
     | Some q ->
-        let o = owned t in
-        let weakened = Compat.strictly_weaker o t.last_reported in
-        let strengthened = Compat.strictly_weaker t.last_reported o in
+        let oc = owned_code t in
+        let lc = Decision.owned_code t.last_reported in
+        let weakened = Decision.strength_of_code oc < Decision.strength_of_code lc in
+        let strengthened = Decision.strength_of_code lc < Decision.strength_of_code oc in
         if weakened || strengthened || force then begin
+          let o = Decision.decode_owned oc in
           t.last_reported <- o;
           emit t q (Msg.Release { new_owned = o; epoch = t.accounted_epoch });
           if o = None then begin
@@ -269,13 +328,12 @@ let clear_pending_if_match t (r : Msg.request) =
 (* Grant to a local client: enter the critical section. *)
 let grant_self t (r : Msg.request) =
   clear_pending_if_match t r;
-  t.held <- (r.seq, r.mode) :: t.held;
+  held_add t r.seq r.mode;
   t.on_granted r
 
 let complete_upgrade t (r : Msg.request) =
   clear_pending_if_match t r;
-  t.held <-
-    List.map (fun (seq, m) -> if seq = r.seq then (seq, Mode.W) else (seq, m)) t.held;
+  if Hashtbl.mem t.held r.seq then held_add t r.seq Mode.W;
   t.on_upgraded r.seq
 
 (* Copy grant (Rule 3): adopt the requester as a child at (at least) the
@@ -288,7 +346,7 @@ let grant_copy t (r : Msg.request) =
   Hashtbl.remove t.sent_freeze r.requester;
   let mode =
     match Hashtbl.find_opt t.children r.requester with
-    | Some (m, _) -> ( match Compat.max_mode (Some m) (Some r.mode) with Some m -> m | None -> r.mode)
+    | Some (m, _) -> if Mode.stronger_eq m r.mode then m else r.mode
     | None -> r.mode
   in
   Hashtbl.replace t.children r.requester (mode, epoch);
@@ -425,25 +483,25 @@ let rec serve_queue t =
   | r :: rest ->
       if t.token then begin
         if revoke_conflicting t r.mode then refresh_freezes t;
-        let mo = owned_for t r in
-        if Compat.token_can_grant ~owned:mo r.mode then begin
+        let mo = owned_code_for t r in
+        if Decision.token_can_grant ~owned:mo r.mode then begin
           t.queue <- rest;
           refresh_freezes t;
           if r.upgrade && r.requester = t.id then complete_upgrade t r
           else if r.requester = t.id then grant_self t r
-          else if Compat.token_must_transfer ~owned:mo r.mode then transfer_token t r
+          else if Decision.token_must_transfer ~owned:mo r.mode then transfer_token t r
           else grant_copy t r;
           if t.token then serve_queue t
         end
         else refresh_freezes t
       end
       else begin
-        let mo = owned t in
+        let mo = owned_code t in
         let remote_grant_ok =
           r.requester = t.id
           || ((not r.token_only) && not (List.mem r.requester t.ancestry))
         in
-        if Compat.can_child_grant ~owned:mo r.mode && (not (is_frozen t r.mode)) && remote_grant_ok
+        if Decision.can_child_grant ~owned:mo r.mode && (not (is_frozen t r.mode)) && remote_grant_ok
         then begin
           t.queue <- rest;
           if r.requester = t.id then grant_self t r else grant_copy t r;
@@ -479,11 +537,11 @@ let handle_request t (r : Msg.request) =
      that conflict with it. *)
   let revoked = revoke_conflicting t r.mode in
   if t.token then begin
-    let mo = owned_for t r in
-    if Compat.token_can_grant ~owned:mo r.mode && not (is_frozen t r.mode) then begin
+    let mo = owned_code_for t r in
+    if Decision.token_can_grant ~owned:mo r.mode && not (is_frozen t r.mode) then begin
       if r.upgrade && r.requester = t.id then complete_upgrade t r
       else if r.requester = t.id then grant_self t r
-      else if Compat.token_must_transfer ~owned:mo r.mode then transfer_token t r
+      else if Decision.token_must_transfer ~owned:mo r.mode then transfer_token t r
       else grant_copy t r;
       if t.token then begin refresh_freezes t; serve_queue t end
     end
@@ -495,19 +553,19 @@ let handle_request t (r : Msg.request) =
   end
   else if r.requester = t.id then begin
     (* Rule 2, local request at a non-token node. *)
-    let mo = owned t in
+    let mo = owned_code t in
     match t.pending with
     | Some p when Msg.request_same p r ->
         (* Our own pending request was relayed back to us (transient cycle
            while a token is in flight): keep it moving. *)
         forward_onward t r
     | _ ->
-        if Compat.can_child_grant ~owned:mo r.mode && not (is_frozen t r.mode) then
+        if Decision.can_child_grant ~owned:mo r.mode && not (is_frozen t r.mode) then
           (* Message-free local acquisition. *)
           grant_self t r
         else begin
           let r =
-            if Compat.can_child_grant ~owned:mo r.mode && is_frozen t r.mode then
+            if Decision.can_child_grant ~owned:mo r.mode && is_frozen t r.mode then
               { r with Msg.token_only = true }
             else r
           in
@@ -516,7 +574,7 @@ let handle_request t (r : Msg.request) =
               t.pending <- Some r;
               forward_onward t r
           | Some p ->
-              if Compat.queueable ~pending:(Some p.mode) r.mode then enqueue t r
+              if Decision.queueable ~pending:(Decision.code_of_mode p.mode) r.mode then enqueue t r
               else forward_onward t r);
           if revoked then begin
             report_owned t ~force:false;
@@ -534,16 +592,16 @@ let handle_request t (r : Msg.request) =
   end
   else begin
     (* Rule 3.1 / Rule 4.1 at a non-token node. *)
-    let mo = owned t in
+    let mo = owned_code t in
     (if
-       Compat.can_child_grant ~owned:mo r.mode
+       Decision.can_child_grant ~owned:mo r.mode
        && (not (is_frozen t r.mode))
        && not (List.mem r.requester t.ancestry)
      then grant_copy t r
      else
       match t.pending with
       | Some p
-        when Compat.queueable ~pending:(Some p.mode) r.mode
+        when Decision.queueable ~pending:(Decision.code_of_mode p.mode) r.mode
              && ((not (Mode.equal p.mode r.mode)) || Msg.request_lt p r) ->
           (* Rule 4.1 / Table 2(a): take custody until our own pending
              request comes through. Custody edges must not cycle (that
@@ -615,7 +673,8 @@ let handle_grant t ~src (r : Msg.request) ~epoch ~ancestry =
      the counterexample). Routing pointers move only on U/W reversal and
      token transfer — Naimi's proven discipline. *)
   t.last_reported <-
-    (if same_parent then Compat.max_mode t.last_reported (Some r.mode) else Some r.mode);
+    (if same_parent then Compat.max_mode t.last_reported (Decision.some_mode r.mode)
+     else Decision.some_mode r.mode);
   grant_self t r;
   (* Repair: if we owned more than the granter could know (a release crossed
      the grant), push a strengthening update so the record covers us. *)
@@ -699,15 +758,14 @@ let request ?(priority = 0) t ~mode =
   seq
 
 let release t ~seq =
-  match List.assoc_opt seq t.held with
+  match held_remove t seq with
   | None -> invalid_arg (Printf.sprintf "Hlock.Node.release: #%d not held at node %d" seq t.id)
   | Some m ->
-      t.held <- List.filter (fun (s, _) -> s <> seq) t.held;
       if t.config.caching && not (is_frozen t m) then t.cached <- Mode_set.add m t.cached;
       after_owned_change t
 
 let upgrade t ~seq =
-  match List.assoc_opt seq t.held with
+  match Hashtbl.find_opt t.held seq with
   | Some Mode.U ->
       if not t.token then
         invalid_arg "Hlock.Node.upgrade: protocol invariant violated (U holder must be the token node)";
@@ -726,8 +784,8 @@ let upgrade t ~seq =
         }
       in
       ignore (revoke_conflicting t Mode.W);
-      let mo = owned_for t r in
-      if Compat.token_can_grant ~owned:mo Mode.W then begin
+      let mo = owned_code_for t r in
+      if Decision.token_can_grant ~owned:mo Mode.W then begin
         complete_upgrade t r;
         refresh_freezes t;
         serve_queue t

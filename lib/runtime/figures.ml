@@ -17,38 +17,79 @@ let default_nodes = [ 2; 4; 8; 16; 24; 32; 48; 64; 80; 96; 120 ]
 
 let quick_nodes = [ 2; 4; 8; 16; 32 ]
 
-let sweep ?workload ?protocol ?(seed = 42L) ~driver ~nodes () =
-  let points =
-    List.map
-      (fun n ->
-        let cfg = Experiment.default_config ~driver ~nodes:n in
-        let cfg =
-          {
-            cfg with
-            Experiment.seed;
-            workload = Option.value workload ~default:cfg.Experiment.workload;
-            protocol = Option.value protocol ~default:cfg.Experiment.protocol;
-          }
-        in
-        let r = Experiment.run cfg in
-        {
-          nodes = n;
-          msgs_per_op = r.Experiment.msgs_per_op;
-          msgs_per_lock_request = r.Experiment.msgs_per_lock_request;
-          latency_factor = r.Experiment.latency_factor;
-          breakdown =
-            List.map
-              (fun (c, k) -> (c, float_of_int k /. float_of_int (max 1 r.Experiment.ops)))
-              r.Experiment.messages;
-        })
-      nodes
+(* Stable semantic identity of a driver, used (with the node count) to
+   derive each sweep cell's seed. Independent of sweep composition: the
+   hierarchical slice of a three-driver grid equals a one-driver sweep. *)
+let driver_index = function
+  | Experiment.Hierarchical -> 0
+  | Experiment.Naimi_pure -> 1
+  | Experiment.Naimi_same_work -> 2
+
+let cell_seed ~seed ~driver ~nodes =
+  Dcs_netkit.Parallel.cell_seed ~base:seed ~salt:((driver_index driver lsl 16) lor nodes)
+
+let run_cell ?workload ?protocol ~seed (driver, n) =
+  let cfg = Experiment.default_config ~driver ~nodes:n in
+  let cfg =
+    {
+      cfg with
+      Experiment.seed = cell_seed ~seed ~driver ~nodes:n;
+      workload = Option.value workload ~default:cfg.Experiment.workload;
+      protocol = Option.value protocol ~default:cfg.Experiment.protocol;
+    }
   in
-  { driver; points }
+  let r = Experiment.run cfg in
+  {
+    nodes = n;
+    msgs_per_op = r.Experiment.msgs_per_op;
+    msgs_per_lock_request = r.Experiment.msgs_per_lock_request;
+    latency_factor = r.Experiment.latency_factor;
+    breakdown =
+      List.map
+        (fun (c, k) -> (c, float_of_int k /. float_of_int (max 1 r.Experiment.ops)))
+        r.Experiment.messages;
+  }
+
+(* Every sweep goes through this one grid: cells fan out over domains
+   (largest node counts first, so with dynamic distribution the long
+   cells start early and short ones fill the tail) and results return in
+   input order. Each cell's seed depends only on its semantic identity,
+   so the grid output is bit-identical for any [jobs]. *)
+let grid ?workload ?protocol ~seed ?jobs cells =
+  let m = Array.length cells in
+  if m = 0 then [||]
+  else begin
+    let order = Array.init m Fun.id in
+    Array.sort
+      (fun a b ->
+        let _, na = cells.(a) and _, nb = cells.(b) in
+        if nb <> na then compare nb na else compare a b)
+      order;
+    let work = Array.map (fun i -> cells.(i)) order in
+    let out = Dcs_netkit.Parallel.map ?jobs (run_cell ?workload ?protocol ~seed) work in
+    let results = Array.make m out.(0) in
+    Array.iteri (fun k i -> results.(i) <- out.(k)) order;
+    results
+  end
+
+let sweep ?workload ?protocol ?(seed = 42L) ?jobs ~driver ~nodes () =
+  let cells = Array.of_list (List.map (fun n -> (driver, n)) nodes) in
+  { driver; points = Array.to_list (grid ?workload ?protocol ~seed ?jobs cells) }
 
 let drivers = Experiment.[ Hierarchical; Naimi_pure; Naimi_same_work ]
 
-let all_sweeps ?seed ~nodes () =
-  List.map (fun driver -> sweep ?seed ~driver ~nodes ()) drivers
+(* One flat grid across drivers × nodes: better load balance than
+   parallelizing each driver's sweep separately. *)
+let all_sweeps ?(seed = 42L) ?jobs ~nodes () =
+  let per_driver = List.length nodes in
+  let cells =
+    Array.of_list (List.concat_map (fun d -> List.map (fun n -> (d, n)) nodes) drivers)
+  in
+  let points = grid ~seed ?jobs cells in
+  List.mapi
+    (fun di driver ->
+      { driver; points = Array.to_list (Array.sub points (di * per_driver) per_driver) })
+    drivers
 
 let float_points f points = List.map (fun p -> (float_of_int p.nodes, f p)) points
 
@@ -107,8 +148,8 @@ let render_fig5 series =
     series;
   Buffer.contents b
 
-let fig5 ?(nodes = default_nodes) ?seed () =
-  let series = all_sweeps ?seed ~nodes () in
+let fig5 ?(nodes = default_nodes) ?seed ?jobs () =
+  let series = all_sweeps ?seed ?jobs ~nodes () in
   (series, render_fig5 series)
 
 let render_fig6 series =
@@ -126,8 +167,8 @@ let render_fig6 series =
     series;
   Buffer.contents b
 
-let fig6 ?(nodes = default_nodes) ?seed () =
-  let series = all_sweeps ?seed ~nodes () in
+let fig6 ?(nodes = default_nodes) ?seed ?jobs () =
+  let series = all_sweeps ?seed ?jobs ~nodes () in
   (series, render_fig6 series)
 
 let render_fig7 s =
@@ -164,13 +205,13 @@ let render_fig7 s =
        ());
   Buffer.contents b
 
-let fig7 ?(nodes = default_nodes) ?seed () =
-  let s = sweep ?seed ~driver:Experiment.Hierarchical ~nodes () in
+let fig7 ?(nodes = default_nodes) ?seed ?jobs () =
+  let s = sweep ?seed ?jobs ~driver:Experiment.Hierarchical ~nodes () in
   (s, render_fig7 s)
 
-let full_report ?(nodes = default_nodes) ?seed () =
+let full_report ?(nodes = default_nodes) ?seed ?jobs () =
   (* One sweep per driver serves all three figures. *)
-  let series = all_sweeps ?seed ~nodes () in
+  let series = all_sweeps ?seed ?jobs ~nodes () in
   let ours = List.find (fun s -> s.driver = Experiment.Hierarchical) series in
   String.concat "
 "

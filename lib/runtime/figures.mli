@@ -23,11 +23,15 @@ val default_nodes : int list
 val quick_nodes : int list
 
 (** Run one driver over the node counts (paper workload unless
-    overridden). *)
+    overridden). Cells fan out over [jobs] domains (default
+    {!Dcs_netkit.Parallel.default_jobs}); each cell's seed is derived
+    from [seed] and the cell's (driver, node count) identity, so results
+    are bit-identical for every [jobs]. *)
 val sweep :
   ?workload:Dcs_workload.Airline.config ->
   ?protocol:Dcs_hlock.Node.config ->
   ?seed:int64 ->
+  ?jobs:int ->
   driver:Experiment.driver ->
   nodes:int list ->
   unit ->
@@ -35,18 +39,18 @@ val sweep :
 
 (** Figure 5: message overhead per lock request vs number of nodes, all
     three drivers, with a logarithmic fit for the scalable protocols. *)
-val fig5 : ?nodes:int list -> ?seed:int64 -> unit -> series list * string
+val fig5 : ?nodes:int list -> ?seed:int64 -> ?jobs:int -> unit -> series list * string
 
 (** Figure 6: request latency as a factor of point-to-point latency, with
     a linear fit for the hierarchical protocol. *)
-val fig6 : ?nodes:int list -> ?seed:int64 -> unit -> series list * string
+val fig6 : ?nodes:int list -> ?seed:int64 -> ?jobs:int -> unit -> series list * string
 
 (** Figure 7: message breakdown by type for the hierarchical protocol. *)
-val fig7 : ?nodes:int list -> ?seed:int64 -> unit -> series * string
+val fig7 : ?nodes:int list -> ?seed:int64 -> ?jobs:int -> unit -> series * string
 
 (** All three figures from a single sweep per driver (cheaper than calling
     {!fig5}, {!fig6} and {!fig7} separately). *)
-val full_report : ?nodes:int list -> ?seed:int64 -> unit -> string
+val full_report : ?nodes:int list -> ?seed:int64 -> ?jobs:int -> unit -> string
 
 (** The four protocol decision tables (paper Tables 1a–2b), rendered. *)
 val tables : unit -> string

@@ -1,5 +1,11 @@
 open Dcs_proto
 
+(* Single-field float record: per-link last-delivery floor updated in
+   place (a [float ref] would re-box the float on every store, and tuple
+   keys would allocate on every send; links are keyed by a packed int
+   instead). *)
+type floor_cell = { mutable floor : float }
+
 type held = {
   h_src : Node_id.t;
   h_dst : Node_id.t;
@@ -15,7 +21,7 @@ type t = {
   rng : Dcs_sim.Rng.t;
   trace : Dcs_sim.Trace.t;
   counters : Counters.t;
-  last_delivery : (Node_id.t * Node_id.t, float) Hashtbl.t;
+  last_delivery : (int, floor_cell) Hashtbl.t;
   mutable in_flight : int;
   mutable fault : Link.fault option;
   held : held Queue.t;
@@ -47,28 +53,40 @@ let clear_fault t = t.fault <- None
 (* FIFO per directed pair: never schedule a delivery before an earlier one
    on the same link (TCP semantics). The fault layer may scale or extend a
    draw, but the floor still applies, so faults never reorder a link. *)
+
+(* Packed (src, dst) link key; node ids are small non-negative ints. *)
+let link_key ~src ~dst = (src lsl 20) lor dst
+
 let delivery_time t ~src ~dst ~delay_factor ~extra_delay =
   let now = Dcs_sim.Engine.now t.engine in
   let scale = Dcs_sim.Topology.factor t.topology ~src ~dst in
   let draw = scale *. Dcs_sim.Dist.sample t.latency t.rng in
   let naive = now +. (Float.max 1.0 delay_factor *. draw) +. Float.max 0.0 extra_delay in
-  let floor =
-    match Hashtbl.find_opt t.last_delivery (src, dst) with
-    | None -> naive
-    | Some last -> Float.max naive (last +. 1e-6)
-  in
-  Hashtbl.replace t.last_delivery (src, dst) floor;
-  floor
+  let key = link_key ~src ~dst in
+  match Hashtbl.find t.last_delivery key with
+  | cell ->
+      let floor = Float.max naive (cell.floor +. 1e-6) in
+      cell.floor <- floor;
+      floor
+  | exception Not_found ->
+      Hashtbl.add t.last_delivery key { floor = naive };
+      naive
 
+(* The [record] thunks are only constructed when tracing is on: building
+   the closure itself would otherwise cost an allocation per message even
+   on untraced runs. *)
 let deliver_copy t ~src ~dst ~describe ~delay_factor ~extra_delay deliver =
   t.in_flight <- t.in_flight + 1;
   let time = delivery_time t ~src ~dst ~delay_factor ~extra_delay in
-  Dcs_sim.Trace.record t.trace ~time:(Dcs_sim.Engine.now t.engine) (fun () ->
-      Printf.sprintf "send n%d->n%d %s (eta %.3f)" src dst (describe ()) time);
+  let traced = Dcs_sim.Trace.enabled t.trace in
+  if traced then
+    Dcs_sim.Trace.record t.trace ~time:(Dcs_sim.Engine.now t.engine) (fun () ->
+        Printf.sprintf "send n%d->n%d %s (eta %.3f)" src dst (describe ()) time);
   Dcs_sim.Engine.schedule_at t.engine ~time (fun () ->
       t.in_flight <- t.in_flight - 1;
-      Dcs_sim.Trace.record t.trace ~time (fun () ->
-          Printf.sprintf "recv n%d->n%d %s" src dst (describe ()));
+      if traced then
+        Dcs_sim.Trace.record t.trace ~time (fun () ->
+            Printf.sprintf "recv n%d->n%d %s" src dst (describe ()));
       deliver ())
 
 (* Consult the fault hook (if any) and act on its decision. Also the
@@ -81,16 +99,18 @@ let dispatch t ~src ~dst ~cls ~describe deliver =
   in
   match decision with
   | Link.Hold ->
-      Dcs_sim.Trace.record t.trace ~time:(Dcs_sim.Engine.now t.engine) (fun () ->
-          Printf.sprintf "hold n%d->n%d %s" src dst (describe ()));
+      if Dcs_sim.Trace.enabled t.trace then
+        Dcs_sim.Trace.record t.trace ~time:(Dcs_sim.Engine.now t.engine) (fun () ->
+            Printf.sprintf "hold n%d->n%d %s" src dst (describe ()));
       Queue.add
         { h_src = src; h_dst = dst; h_cls = cls; h_describe = describe; h_deliver = deliver }
         t.held
   | Link.Deliver { copies; delay_factor; extra_delay } ->
       if copies <= 0 then begin
         t.dropped <- t.dropped + 1;
-        Dcs_sim.Trace.record t.trace ~time:(Dcs_sim.Engine.now t.engine) (fun () ->
-            Printf.sprintf "drop n%d->n%d %s" src dst (describe ()))
+        if Dcs_sim.Trace.enabled t.trace then
+          Dcs_sim.Trace.record t.trace ~time:(Dcs_sim.Engine.now t.engine) (fun () ->
+              Printf.sprintf "drop n%d->n%d %s" src dst (describe ()))
       end
       else begin
         if copies > 1 then t.duplicated <- t.duplicated + (copies - 1);

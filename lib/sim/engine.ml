@@ -1,6 +1,23 @@
+(* The event queue is a monomorphic float-keyed binary heap inlined here
+   rather than an instance of the polymorphic {!Pqueue}: with the key
+   array statically typed [float array] the heap stays flat (unboxed
+   floats) and comparisons compile to primitive float compares, so
+   scheduling and dispatching an event allocates nothing beyond the
+   caller's callback closure. Ties are broken by schedule order (seqs),
+   which deterministic runs rely on. *)
+
+(* Single-field float record: a mutable simulation clock that updates in
+   place instead of allocating a fresh box per event (a [mutable float]
+   field in the mixed-type record below would re-box on every store). *)
+type clock = { mutable time : float }
+
 type t = {
-  queue : (float, unit -> unit) Pqueue.t;
-  mutable clock : float;
+  mutable keys : float array;
+  mutable seqs : int array;
+  mutable vals : (unit -> unit) array;
+  mutable size : int;
+  mutable next_seq : int;
+  clock : clock;
   mutable processed : int;
 }
 
@@ -9,44 +26,136 @@ type outcome =
   | Horizon_reached
   | Event_limit
 
-let create () = { queue = Pqueue.create ~compare:Float.compare; clock = 0.0; processed = 0 }
+let nothing () = ()
 
-let now t = t.clock
+let create () =
+  {
+    keys = [||];
+    seqs = [||];
+    vals = [||];
+    size = 0;
+    next_seq = 0;
+    clock = { time = 0.0 };
+    processed = 0;
+  }
+
+let now t = t.clock.time
+
+let lt t i j =
+  let ki = t.keys.(i) and kj = t.keys.(j) in
+  if ki < kj then true else if ki > kj then false else t.seqs.(i) < t.seqs.(j)
+
+let swap t i j =
+  let k = t.keys.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.keys.(j) <- k;
+  let s = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- s;
+  let v = t.vals.(i) in
+  t.vals.(i) <- t.vals.(j);
+  t.vals.(j) <- v
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && lt t l !smallest then smallest := l;
+  if r < t.size && lt t r !smallest then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let ensure_room t =
+  let cap = Array.length t.keys in
+  if t.size = cap then begin
+    let cap' = if cap = 0 then 64 else 2 * cap in
+    let keys = Array.make cap' 0.0 in
+    let seqs = Array.make cap' 0 in
+    let vals = Array.make cap' nothing in
+    Array.blit t.keys 0 keys 0 t.size;
+    Array.blit t.seqs 0 seqs 0 t.size;
+    Array.blit t.vals 0 vals 0 t.size;
+    t.keys <- keys;
+    t.seqs <- seqs;
+    t.vals <- vals
+  end
+
+let remove_min t =
+  t.size <- t.size - 1;
+  let last = t.size in
+  if last > 0 then begin
+    t.keys.(0) <- t.keys.(last);
+    t.seqs.(0) <- t.seqs.(last);
+    t.vals.(0) <- t.vals.(last);
+  end;
+  (* Release the popped callback so the heap does not retain it. *)
+  t.vals.(last) <- nothing;
+  if last > 0 then sift_down t 0
 
 let schedule_at t ~time f =
-  let time = if time < t.clock then t.clock else time in
-  Pqueue.add t.queue time f
+  let time = if time < t.clock.time then t.clock.time else time in
+  ensure_room t;
+  let i = t.size in
+  t.keys.(i) <- time;
+  t.seqs.(i) <- t.next_seq;
+  t.vals.(i) <- f;
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t i
 
 let schedule t ~after f =
   let after = if after < 0.0 then 0.0 else after in
-  schedule_at t ~time:(t.clock +. after) f
+  schedule_at t ~time:(t.clock.time +. after) f
 
 let step t =
-  match Pqueue.pop t.queue with
-  | None -> false
-  | Some (time, f) ->
-      t.clock <- time;
-      t.processed <- t.processed + 1;
-      f ();
-      true
+  if t.size = 0 then false
+  else begin
+    let time = t.keys.(0) and f = t.vals.(0) in
+    remove_min t;
+    t.clock.time <- time;
+    t.processed <- t.processed + 1;
+    f ();
+    true
+  end
 
 let run ?until ?(max_events = 100_000_000) t =
-  let rec loop budget =
-    if budget = 0 then Event_limit
-    else
-      match Pqueue.peek t.queue with
-      | None -> Drained
-      | Some (time, _) -> (
-          match until with
-          | Some horizon when time > horizon ->
-              t.clock <- horizon;
-              Horizon_reached
-          | _ ->
-              ignore (step t);
-              loop (budget - 1))
-  in
-  loop max_events
+  match until with
+  | None ->
+      (* Unbounded-horizon fast path: no option probing per event. *)
+      let rec loop budget =
+        if budget = 0 then Event_limit
+        else if t.size = 0 then Drained
+        else begin
+          ignore (step t);
+          loop (budget - 1)
+        end
+      in
+      loop max_events
+  | Some horizon ->
+      let rec loop budget =
+        if budget = 0 then Event_limit
+        else if t.size = 0 then Drained
+        else if t.keys.(0) > horizon then begin
+          t.clock.time <- horizon;
+          Horizon_reached
+        end
+        else begin
+          ignore (step t);
+          loop (budget - 1)
+        end
+      in
+      loop max_events
 
-let pending t = Pqueue.length t.queue
+let pending t = t.size
 
 let events_processed t = t.processed

@@ -1,41 +1,50 @@
-type ('k, 'v) entry = { key : 'k; seq : int; value : 'v }
+(* Flat parallel-array binary heap. The previous implementation stored
+   [entry option array] — one record plus one option box per element, and
+   an option/tuple allocation on every [peek]/[pop]. Here keys, insertion
+   sequence numbers and values live in three parallel arrays with no
+   per-element boxing; slots at or beyond [size] hold stale sentinel
+   copies of previously stored elements (harmless: they are overwritten
+   before ever being read again, and [clear] drops the arrays so nothing
+   is retained after a reset). The arrays are allocated lazily on the
+   first [add], which supplies the sentinel filler. *)
 
 type ('k, 'v) t = {
   compare : 'k -> 'k -> int;
-  mutable data : ('k, 'v) entry option array;
+  mutable keys : 'k array;
+  mutable seqs : int array;
+  mutable vals : 'v array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create ~compare = { compare; data = Array.make 16 None; size = 0; next_seq = 0 }
+let create ~compare =
+  { compare; keys = [||]; seqs = [||]; vals = [||]; size = 0; next_seq = 0 }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
-let entry_lt t a b =
-  let c = t.compare a.key b.key in
-  if c <> 0 then c < 0 else a.seq < b.seq
+(* Ordering: key first, insertion order as the tie-break (stability). *)
+let lt t i j =
+  let c = t.compare t.keys.(i) t.keys.(j) in
+  if c <> 0 then c < 0 else t.seqs.(i) < t.seqs.(j)
 
-let get t i =
-  match t.data.(i) with
-  | Some e -> e
-  | None -> assert false
-
-let grow t =
-  if t.size = Array.length t.data then begin
-    let data = Array.make (2 * Array.length t.data) None in
-    Array.blit t.data 0 data 0 t.size;
-    t.data <- data
-  end
+let swap t i j =
+  let k = t.keys.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.keys.(j) <- k;
+  let s = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- s;
+  let v = t.vals.(i) in
+  t.vals.(i) <- t.vals.(j);
+  t.vals.(j) <- v
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if entry_lt t (get t i) (get t parent) then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
+    if lt t i parent then begin
+      swap t i parent;
       sift_up t parent
     end
   end
@@ -43,39 +52,70 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && entry_lt t (get t l) (get t !smallest) then smallest := l;
-  if r < t.size && entry_lt t (get t r) (get t !smallest) then smallest := r;
+  if l < t.size && lt t l !smallest then smallest := l;
+  if r < t.size && lt t r !smallest then smallest := r;
   if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
+    swap t i !smallest;
     sift_down t !smallest
   end
 
+let ensure_room t key value =
+  let cap = Array.length t.keys in
+  if t.size = cap then begin
+    let cap' = if cap = 0 then 16 else 2 * cap in
+    (* The incoming element doubles as the sentinel filler. *)
+    let keys = Array.make cap' key in
+    let seqs = Array.make cap' 0 in
+    let vals = Array.make cap' value in
+    Array.blit t.keys 0 keys 0 t.size;
+    Array.blit t.seqs 0 seqs 0 t.size;
+    Array.blit t.vals 0 vals 0 t.size;
+    t.keys <- keys;
+    t.seqs <- seqs;
+    t.vals <- vals
+  end
+
 let add t key value =
-  grow t;
-  t.data.(t.size) <- Some { key; seq = t.next_seq; value };
+  ensure_room t key value;
+  let i = t.size in
+  t.keys.(i) <- key;
+  t.seqs.(i) <- t.next_seq;
+  t.vals.(i) <- value;
   t.next_seq <- t.next_seq + 1;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  sift_up t i
 
-let peek t = if t.size = 0 then None else
-  let e = get t 0 in
-  Some (e.key, e.value)
+let unsafe_min_key t = t.keys.(0)
+
+let unsafe_min_value t = t.vals.(0)
+
+let remove_min t =
+  if t.size > 0 then begin
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      let last = t.size in
+      t.keys.(0) <- t.keys.(last);
+      t.seqs.(0) <- t.seqs.(last);
+      t.vals.(0) <- t.vals.(last);
+      sift_down t 0
+    end
+  end
+
+let peek t = if t.size = 0 then None else Some (t.keys.(0), t.vals.(0))
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let e = get t 0 in
-    t.size <- t.size - 1;
-    t.data.(0) <- t.data.(t.size);
-    t.data.(t.size) <- None;
-    if t.size > 0 then sift_down t 0;
-    Some (e.key, e.value)
+    let k = t.keys.(0) and v = t.vals.(0) in
+    remove_min t;
+    Some (k, v)
   end
 
 let clear t =
-  Array.fill t.data 0 (Array.length t.data) None;
+  (* Drop the arrays entirely so stale sentinels cannot retain values. *)
+  t.keys <- [||];
+  t.seqs <- [||];
+  t.vals <- [||];
   t.size <- 0
 
 let drain t =

@@ -1,9 +1,9 @@
 (** Mutable binary min-heap priority queue.
 
-    Used as the simulator's event queue; also exposed for reuse. Keys are
-    compared with the function supplied at creation; ties are broken by
-    insertion order (the queue is stable), which the simulator relies on
-    for deterministic event ordering. *)
+    A flat parallel-array heap (keys, insertion sequence numbers and
+    values in three sentinel-filled arrays — no per-element boxing).
+    Exposed for reuse; ties are broken by insertion order (the queue is
+    stable), which deterministic event ordering relies on. *)
 
 type ('k, 'v) t
 
@@ -23,6 +23,17 @@ val peek : ('k, 'v) t -> ('k * 'v) option
 
 (** Remove and return the smallest binding. O(log n). *)
 val pop : ('k, 'v) t -> ('k * 'v) option
+
+(** {2 Allocation-free access}
+
+    The [unsafe_*] pair plus {!remove_min} is [pop] split into
+    non-allocating parts, for hot loops: read the minimum's key and value
+    (undefined results if the queue is empty — check {!is_empty} first),
+    then drop it. [remove_min] on an empty queue is a no-op. *)
+
+val unsafe_min_key : ('k, 'v) t -> 'k
+val unsafe_min_value : ('k, 'v) t -> 'v
+val remove_min : ('k, 'v) t -> unit
 
 (** Remove all elements. *)
 val clear : ('k, 'v) t -> unit

@@ -1,43 +1,94 @@
+(* Entries live in a pair of parallel ring arrays (times unboxed). With a
+   capacity, eviction is an O(1) overwrite of the oldest slot — the
+   previous list-based implementation re-filtered the whole retained list
+   on every capacity-evicted record. Without a capacity the arrays grow
+   geometrically. The digest always covers every entry ever recorded,
+   including evicted ones: it folds the raw IEEE bits of the timestamp
+   (exact, no decimal re-rendering) and the entry text into FNV-1a. *)
+
 type t = {
   enabled : bool;
   capacity : int option;
-  mutable entries : (float * string) list;  (* newest first *)
-  mutable length : int;
+  mutable times : float array;
+  mutable lines : string array;
+  mutable total : int;  (* entries ever recorded *)
   mutable hash : int64;
 }
 
-let create ?capacity ~enabled () = { enabled; capacity; entries = []; length = 0; hash = 0xcbf29ce484222325L }
+let create ?capacity ~enabled () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Trace.create: capacity <= 0"
+  | _ -> ());
+  { enabled; capacity; times = [||]; lines = [||]; total = 0; hash = 0xcbf29ce484222325L }
 
 let enabled t = t.enabled
 
 let fnv_prime = 0x100000001b3L
 
+let hash_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
 let hash_string h s =
   let h = ref h in
-  String.iter
-    (fun c ->
-      h := Int64.logxor !h (Int64.of_int (Char.code c));
-      h := Int64.mul !h fnv_prime)
-    s;
+  String.iter (fun c -> h := hash_byte !h (Char.code c)) s;
   !h
+
+let hash_time h time =
+  let bits = Int64.bits_of_float time in
+  let h = ref h in
+  for i = 0 to 7 do
+    h := hash_byte !h (Int64.to_int (Int64.shift_right_logical bits (8 * i)))
+  done;
+  !h
+
+let retained t =
+  match t.capacity with Some cap -> min t.total cap | None -> t.total
+
+let length = retained
+
+let ensure_room t =
+  let cap = Array.length t.times in
+  if t.total = cap then begin
+    let cap' = if cap = 0 then 64 else 2 * cap in
+    let times = Array.make cap' 0.0 in
+    let lines = Array.make cap' "" in
+    Array.blit t.times 0 times 0 t.total;
+    Array.blit t.lines 0 lines 0 t.total;
+    t.times <- times;
+    t.lines <- lines
+  end
 
 let record t ~time msg =
   if t.enabled then begin
     let line = msg () in
-    t.hash <- hash_string (hash_string t.hash (Printf.sprintf "%.6f" time)) line;
-    t.entries <- (time, line) :: t.entries;
-    t.length <- t.length + 1;
-    match t.capacity with
-    | Some cap when t.length > cap ->
-        (* Drop the oldest entry; O(n) but traces are bounded and cold. *)
-        t.entries <- List.filteri (fun i _ -> i < cap) t.entries;
-        t.length <- cap
-    | _ -> ()
+    t.hash <- hash_string (hash_time t.hash time) line;
+    (match t.capacity with
+    | Some cap ->
+        if Array.length t.times = 0 then begin
+          t.times <- Array.make cap 0.0;
+          t.lines <- Array.make cap ""
+        end;
+        let slot = t.total mod cap in
+        t.times.(slot) <- time;
+        t.lines.(slot) <- line
+    | None ->
+        ensure_room t;
+        t.times.(t.total) <- time;
+        t.lines.(t.total) <- line);
+    t.total <- t.total + 1
   end
 
-let entries t = List.rev t.entries
-
-let length t = t.length
+let entries t =
+  let n = retained t in
+  let start =
+    match t.capacity with
+    | Some cap when t.total > cap -> t.total mod cap
+    | _ -> 0
+  in
+  let modulus = max 1 (Array.length t.times) in
+  List.init n (fun i ->
+      let slot = (start + i) mod modulus in
+      (t.times.(slot), t.lines.(slot)))
 
 let digest t = t.hash
 

@@ -652,6 +652,45 @@ let test_merge_queues_orders_by_timestamp () =
   Alcotest.check (Alcotest.list Alcotest.int) "by timestamp" [ 3; 1; 4; 2 ]
     (List.map (fun (r : Msg.request) -> r.Msg.requester) merged)
 
+(* Regression for the held-grant table (an assoc list until it showed up
+   in profiles; now a hash table): a node holding many compatible grants
+   at once must keep every lookup, insert and removal exact, and the
+   [held] view must stay sorted by sequence number. *)
+let test_many_concurrent_holds () =
+  (* caching off so [owned] tracks the held grants alone. *)
+  let c = SC.create ~config:no_cache_config 1 in
+  let n = 200 in
+  let seqs =
+    List.init n (fun i ->
+        SC.acquire c ~node:0 ~mode:(if i mod 2 = 0 then Mode.IR else Mode.R))
+  in
+  let held = Node.held (SC.node c 0) in
+  checki "all grants held" n (List.length held);
+  checkb "sorted by seq" true (List.sort compare held = held);
+  List.iteri
+    (fun i seq ->
+      Alcotest.check (Alcotest.option Testkit.mode) "mode by seq"
+        (Some (if i mod 2 = 0 then Mode.IR else Mode.R))
+        (List.assoc_opt seq held))
+    seqs;
+  SC.check_compat c;
+  (* The strongest held grant (R) dominates the owned mode. *)
+  Alcotest.check (Alcotest.option Testkit.mode) "owned is R" (Some Mode.R)
+    (Node.owned (SC.node c 0));
+  (* Release every other grant (all the Rs), newest first. *)
+  let drop = List.rev (List.filteri (fun i _ -> i mod 2 = 1) seqs) in
+  let keep = List.filteri (fun i _ -> i mod 2 = 0) seqs in
+  List.iter (fun seq -> SC.release c ~node:0 ~seq) drop;
+  let held = Node.held (SC.node c 0) in
+  checki "half released" (List.length keep) (List.length held);
+  List.iter (fun seq -> checkb "kept grant present" true (List.mem_assoc seq held)) keep;
+  checkb "released grants gone" true
+    (List.for_all (fun seq -> not (List.mem_assoc seq held)) drop);
+  Alcotest.check (Alcotest.option Testkit.mode) "owned falls back to IR" (Some Mode.IR)
+    (Node.owned (SC.node c 0));
+  List.iter (fun seq -> SC.release c ~node:0 ~seq) keep;
+  checki "all released" 0 (List.length (Node.held (SC.node c 0)))
+
 let () =
   Alcotest.run "dcs_hlock"
     [
@@ -662,6 +701,7 @@ let () =
           Alcotest.test_case "grant and transfer" `Quick test_remote_grant_and_transfer;
           Alcotest.test_case "concurrent readers" `Quick test_concurrent_readers;
           Alcotest.test_case "writer excludes readers" `Quick test_writer_excludes_readers;
+          Alcotest.test_case "many concurrent holds" `Quick test_many_concurrent_holds;
         ] );
       ( "figure-2",
         [ Alcotest.test_case "release suppression (Rule 5.2)" `Quick test_release_suppression_rule_5_2 ] );

@@ -294,6 +294,98 @@ let test_render_tables () =
     (fun k -> checkb "non-empty" true (String.length (Compat.render_table k) > 50))
     [ `Compat; `Child_grant; `Queue_forward; `Freeze ]
 
+(* {1 Decision fast path}
+
+   The precomputed bitmask tables must agree with the derivational Compat
+   predicates on every cell: all 6 owned codes (⊥ plus the five modes) ×
+   all 5 request modes per code-indexed table, and all 25 mode pairs for
+   compatibility. Decision asserts this itself at init; these tests keep
+   the cross-check visible and cover the bit-set helpers too. *)
+
+let owned_options = None :: List.map (fun m -> Some m) Mode.all
+
+let test_decision_codes () =
+  List.iter
+    (fun o ->
+      let c = Decision.owned_code o in
+      checkb "code in range" true (c >= 0 && c <= 5);
+      check Alcotest.(option Testkit.mode) "decode/encode" o (Decision.decode_owned c);
+      check Alcotest.int "strength" (Compat.strength o) (Decision.strength_of_code c))
+    owned_options;
+  List.iter
+    (fun m ->
+      check Alcotest.int "code_of_mode" (Decision.owned_code (Some m)) (Decision.code_of_mode m);
+      check Alcotest.(option Testkit.mode) "some_mode" (Some m) (Decision.some_mode m))
+    Mode.all
+
+let test_decision_agrees_with_compat () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          checkb
+            (Printf.sprintf "compatible %s %s" (Mode.to_string a) (Mode.to_string b))
+            (Compat.compatible a b) (Decision.compatible a b))
+        Mode.all)
+    Mode.all;
+  List.iter
+    (fun o ->
+      let c = Decision.owned_code o in
+      let label fn m =
+        Printf.sprintf "%s owned=%s req=%s" fn
+          (match o with None -> "_" | Some m -> Mode.to_string m)
+          (Mode.to_string m)
+      in
+      List.iter
+        (fun m ->
+          checkb (label "can_child_grant" m)
+            (Compat.can_child_grant ~owned:o m)
+            (Decision.can_child_grant ~owned:c m);
+          checkb (label "token_can_grant" m)
+            (Compat.token_can_grant ~owned:o m)
+            (Decision.token_can_grant ~owned:c m);
+          checkb (label "token_must_transfer" m)
+            (Compat.token_must_transfer ~owned:o m)
+            (Decision.token_must_transfer ~owned:c m);
+          checkb (label "queueable" m)
+            (Compat.queueable ~pending:o m)
+            (Decision.queueable ~pending:c m);
+          check Alcotest.int (label "freeze_set" m)
+            (Mode_set.to_bits (Compat.freeze_set ~owned:o m))
+            (Mode_set.to_bits (Decision.freeze_set ~owned:c m)))
+        Mode.all)
+    owned_options
+
+let test_decision_bit_sets () =
+  List.iter
+    (fun m ->
+      List.iter
+        (fun x ->
+          checkb "compatible_bits" (Compat.compatible x m)
+            (Mode_set.mem x (Decision.compatible_bits m));
+          checkb "incompatible_bits" (not (Compat.compatible x m))
+            (Mode_set.mem x (Decision.incompatible_bits m));
+          checkb "le_strength_bits"
+            (Mode.strength x <= Mode.strength m)
+            (Mode_set.mem x (Decision.le_strength_bits m)))
+        Mode.all)
+    Mode.all
+
+(* Property form of the agreement check: any (owned, request) cell drawn
+   at random decides identically through either path. *)
+let prop_decision_matches_compat =
+  Q.Test.make ~name:"decision tables match Compat on random cells" ~count:500
+    (Q.Gen.pair (Q.Gen.int_range 0 5) (Q.Gen.int_range 0 4))
+    (fun (code, mi) ->
+      let o = Decision.decode_owned code in
+      let m = Mode.of_index mi in
+      Compat.can_child_grant ~owned:o m = Decision.can_child_grant ~owned:code m
+      && Compat.token_can_grant ~owned:o m = Decision.token_can_grant ~owned:code m
+      && Compat.token_must_transfer ~owned:o m = Decision.token_must_transfer ~owned:code m
+      && Compat.queueable ~pending:o m = Decision.queueable ~pending:code m
+      && Mode_set.to_bits (Compat.freeze_set ~owned:o m)
+         = Mode_set.to_bits (Decision.freeze_set ~owned:code m))
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "dcs_modes"
@@ -332,6 +424,14 @@ let () =
           qt prop_strongest_is_member;
           qt prop_mode_set_model;
           qt prop_mode_set_mem;
+        ] );
+      ( "decision",
+        [
+          Alcotest.test_case "owned codes" `Quick test_decision_codes;
+          Alcotest.test_case "agrees with Compat on all cells" `Quick
+            test_decision_agrees_with_compat;
+          Alcotest.test_case "bit-set helpers" `Quick test_decision_bit_sets;
+          qt prop_decision_matches_compat;
         ] );
       ("render", [ Alcotest.test_case "ascii tables" `Quick test_render_tables ]);
     ]
