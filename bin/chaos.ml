@@ -33,10 +33,48 @@ let run_plan ~cfg ~period ~name =
   in
   let cfg = { cfg with Experiment.chaos = Some (Experiment.chaos ~audit_period:period plan) } in
   let trace = Dcs_sim.Trace.create ~capacity:64 ~enabled:true () in
-  let result = Experiment.run ~trace cfg in
-  (result, plan, Dcs_sim.Trace.digest trace)
+  (* Metrics-only recorder: latency histograms and message accounting
+     without the per-event log (soaks are long). Recording is
+     observation-only, so --verify digests are unaffected. *)
+  let recorder = Dcs_obs.Recorder.create ~events:false ~enabled:true () in
+  let result = Experiment.run ~trace ~recorder cfg in
+  (result, plan, Dcs_sim.Trace.digest trace, recorder)
 
-let report ~name ~cfg ~plan ~result ~digest =
+let telemetry recorder result =
+  let module R = Dcs_obs.Recorder in
+  let bytes = R.msg_bytes recorder in
+  let rows =
+    List.map
+      (fun (cls, n) ->
+        [
+          Dcs_proto.Msg_class.to_string cls;
+          string_of_int n;
+          string_of_int (Option.value ~default:0 (List.assoc_opt cls bytes));
+        ])
+      result.Experiment.messages
+  in
+  Printf.printf "messages  :\n%s"
+    (Dcs_stats.Table.render ~header:[ "class"; "count"; "bytes" ] rows);
+  let stats = R.mode_stats recorder in
+  if stats <> [] then begin
+    let rows =
+      List.map
+        (fun (s : R.mode_stat) ->
+          [
+            Dcs_modes.Mode.to_string s.R.mode;
+            string_of_int s.R.count;
+            Printf.sprintf "%.1f" s.R.mean_ms;
+            Printf.sprintf "%.1f" s.R.p50_ms;
+            Printf.sprintf "%.1f" s.R.p95_ms;
+            Printf.sprintf "%.1f" s.R.p99_ms;
+          ])
+        stats
+    in
+    Printf.printf "latency   : acquisition by mode (ms, histogram quantiles)\n%s"
+      (Dcs_stats.Table.render ~header:[ "mode"; "n"; "mean"; "p50"; "p95"; "p99" ] rows)
+  end
+
+let report ~name ~cfg ~plan ~result ~digest ~recorder =
   let r = result in
   Printf.printf "== chaos plan %-14s (%d nodes, %d requests, seed %Ld) ==\n" name
     cfg.Experiment.nodes r.Experiment.ops cfg.Experiment.seed;
@@ -67,6 +105,7 @@ let report ~name ~cfg ~plan ~result ~digest =
   Printf.printf "sim       : %.1f s simulated, %d events\n"
     (r.Experiment.sim_duration_ms /. 1000.0)
     r.Experiment.events;
+  telemetry recorder r;
   Printf.printf "digest    : %Lx\n\n" digest;
   rep.Experiment.audit_violations = []
 
@@ -90,20 +129,20 @@ let main plans nodes ops entries seed period quick verify jobs =
     Dcs_netkit.Parallel.map ~jobs
       (fun name ->
         let cfg = build_config ~nodes ~ops ~entries ~seed in
-        let result, plan, digest = run_plan ~cfg ~period ~name in
+        let result, plan, digest, recorder = run_plan ~cfg ~period ~name in
         let verified =
           if verify then
-            let _, _, digest' = run_plan ~cfg ~period ~name in
+            let _, _, digest', _ = run_plan ~cfg ~period ~name in
             Some digest'
           else None
         in
-        (name, cfg, result, plan, digest, verified))
+        (name, cfg, result, plan, digest, recorder, verified))
       (Array.of_list plans)
   in
   let ok = ref true in
   Array.iter
-    (fun (name, cfg, result, plan, digest, verified) ->
-      if not (report ~name ~cfg ~plan ~result ~digest) then ok := false;
+    (fun (name, cfg, result, plan, digest, recorder, verified) ->
+      if not (report ~name ~cfg ~plan ~result ~digest ~recorder) then ok := false;
       match verified with
       | None -> ()
       | Some digest' ->

@@ -1,0 +1,420 @@
+(* dcs-trace: capture and analyze request-lifecycle telemetry.
+
+     dcs-trace record  -o FILE     run one instrumented experiment, write JSONL
+     dcs-trace analyze FILE        per-mode latency, token paths, crosschecks
+
+   [record] re-runs a figure-sweep cell (same seed derivation as the fig5-7
+   grids) with a Dcs_obs.Recorder attached; [analyze] works from the JSONL
+   alone, so traces can be captured on one machine and studied on another. *)
+
+open Cmdliner
+module Mode = Dcs_modes.Mode
+module Mode_set = Dcs_modes.Mode_set
+module Msg_class = Dcs_proto.Msg_class
+module Experiment = Dcs_runtime.Experiment
+module Figures = Dcs_runtime.Figures
+module Event = Dcs_obs.Event
+module Recorder = Dcs_obs.Recorder
+module Jsonl = Dcs_obs.Jsonl
+module Sample = Dcs_stats.Sample
+module Table = Dcs_stats.Table
+
+(* {1 record} *)
+
+let record_cmd =
+  let driver_arg =
+    let driver_conv =
+      Arg.enum
+        [
+          ("hierarchical", Experiment.Hierarchical);
+          ("naimi-same-work", Experiment.Naimi_same_work);
+          ("naimi-pure", Experiment.Naimi_pure);
+        ]
+    in
+    Arg.(value & opt driver_conv Experiment.Hierarchical & info [ "driver" ] ~docv:"DRIVER"
+           ~doc:"One of hierarchical, naimi-same-work, naimi-pure.")
+  in
+  let nodes_arg = Arg.(value & opt int 16 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.") in
+  let entries_arg =
+    Arg.(value & opt int 10 & info [ "entries" ] ~docv:"K" ~doc:"Table size (entry locks).")
+  in
+  let ops_arg =
+    Arg.(value & opt int 20 & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per node.")
+  in
+  let seed_arg =
+    Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Base sweep seed; the cell seed is derived from it as in the figure sweeps.")
+  in
+  let out_arg =
+    Arg.(value & opt string "trace.jsonl" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output JSONL file.")
+  in
+  let run driver nodes entries ops seed out =
+    let recorder = Recorder.create ~enabled:true () in
+    let workload =
+      { Dcs_workload.Airline.default_config with Dcs_workload.Airline.entries; ops_per_node = ops }
+    in
+    let r = Figures.traced_cell ~workload ~seed ~recorder ~driver ~nodes () in
+    let oc = open_out out in
+    Jsonl.write oc
+      ~meta:
+        [
+          ("driver", Experiment.driver_to_string driver);
+          ("nodes", string_of_int nodes);
+          ("entries", string_of_int entries);
+          ("ops_per_node", string_of_int ops);
+          ("seed", Int64.to_string seed);
+        ]
+      ~counters:r.Experiment.messages recorder;
+    close_out oc;
+    Printf.printf "wrote %s: %d events, %d spans (%d completed), %d messages, %.1f s simulated\n"
+      out (Recorder.event_count recorder) (Recorder.requested recorder)
+      (Recorder.completed recorder) r.Experiment.total_messages
+      (r.Experiment.sim_duration_ms /. 1000.)
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Run one instrumented experiment and write its telemetry as JSONL.")
+    Term.(const run $ driver_arg $ nodes_arg $ entries_arg $ ops_arg $ seed_arg $ out_arg)
+
+(* {1 analyze} *)
+
+(* One completed acquisition episode, reassembled from span events. A span
+   id can carry two episodes (initial grant, then a Rule-7 upgrade). *)
+type acq = {
+  a_lock : int;
+  a_requester : int;
+  a_seq : int;
+  a_mode : Mode.t;
+  a_start : float;
+  a_finish : float;
+  a_hops : int;  (* Forwarded events observed between request and grant *)
+  a_kind : [ `Local | `Token | `Upgrade ];
+  a_events : Event.t list;  (* chronological, request through grant *)
+}
+
+type open_ep = { o_start : float; o_hops : int; o_rev : Event.t list }
+
+let reassemble events =
+  let open_eps : (int * int * int, open_ep) Hashtbl.t = Hashtbl.create 64 in
+  let acqs = ref [] in
+  List.iter
+    (fun (e : Event.t) ->
+      if not (Event.is_node_event e.kind) then begin
+        let key = (e.lock, e.requester, e.seq) in
+        let close mode kind ep =
+          Hashtbl.remove open_eps key;
+          acqs :=
+            {
+              a_lock = e.lock;
+              a_requester = e.requester;
+              a_seq = e.seq;
+              a_mode = mode;
+              a_start = ep.o_start;
+              a_finish = e.time;
+              a_hops = ep.o_hops;
+              a_kind = kind;
+              a_events = List.rev (e :: ep.o_rev);
+            }
+            :: !acqs
+        in
+        match e.kind with
+        | Event.Requested _ ->
+            Hashtbl.replace open_eps key { o_start = e.time; o_hops = 0; o_rev = [ e ] }
+        | Forwarded _ -> (
+            match Hashtbl.find_opt open_eps key with
+            | Some ep ->
+                Hashtbl.replace open_eps key
+                  { ep with o_hops = ep.o_hops + 1; o_rev = e :: ep.o_rev }
+            | None -> ())
+        | Queued -> (
+            match Hashtbl.find_opt open_eps key with
+            | Some ep -> Hashtbl.replace open_eps key { ep with o_rev = e :: ep.o_rev }
+            | None -> ())
+        | Granted_local { mode; _ } -> (
+            match Hashtbl.find_opt open_eps key with
+            | Some ep -> close mode `Local ep
+            | None -> ())
+        | Granted_token { mode; _ } -> (
+            match Hashtbl.find_opt open_eps key with
+            | Some ep -> close mode `Token ep
+            | None -> ())
+        | Upgraded -> (
+            match Hashtbl.find_opt open_eps key with
+            | Some ep -> close Mode.W `Upgrade ep
+            | None -> ())
+        | Released _ | Frozen _ | Unfrozen _ -> ()
+      end)
+    events;
+  (List.rev !acqs, Hashtbl.length open_eps)
+
+(* Freeze episodes from Frozen/Unfrozen node events: per (lock, node),
+   non-empty -> empty transitions, mirroring Recorder's online tracking. *)
+let freeze_episodes events =
+  let state : (int * int, Mode_set.t * float) Hashtbl.t = Hashtbl.create 16 in
+  let durations = ref [] in
+  List.iter
+    (fun (e : Event.t) ->
+      let apply ~add set =
+        let key = (e.lock, e.node) in
+        let cur, since =
+          match Hashtbl.find_opt state key with
+          | Some (c, s) -> (c, s)
+          | None -> (Mode_set.empty, e.time)
+        in
+        let was_empty = Mode_set.is_empty cur in
+        let next = if add then Mode_set.union cur set else Mode_set.diff cur set in
+        if Mode_set.is_empty next then begin
+          Hashtbl.remove state key;
+          if not was_empty then durations := (e.time -. since) :: !durations
+        end
+        else Hashtbl.replace state key (next, if was_empty then e.time else since)
+      in
+      match e.kind with
+      | Event.Frozen s -> apply ~add:true s
+      | Event.Unfrozen s -> apply ~add:false s
+      | _ -> ())
+    events;
+  (List.rev !durations, Hashtbl.length state)
+
+let pp_span_id a = Printf.sprintf "lock%d n%d#%d" a.a_lock a.a_requester a.a_seq
+
+let analyze file slowest check =
+  match Jsonl.read_file file with
+  | Error msg ->
+      Printf.eprintf "dcs-trace: %s: %s\n" file msg;
+      exit 2
+  | Ok lines ->
+      let meta =
+        List.find_map (function Jsonl.Meta m -> Some m | _ -> None) lines
+        |> Option.value ~default:[]
+      in
+      let events = List.filter_map (function Jsonl.Ev e -> Some e | _ -> None) lines in
+      let gauges =
+        List.filter_map (function Jsonl.Gauge { time; name; value } -> Some (time, name, value) | _ -> None) lines
+      in
+      let msgs =
+        List.filter_map
+          (function Jsonl.Msgs { cls; count; bytes } -> Some (cls, count, bytes) | _ -> None)
+          lines
+      in
+      let counters = List.find_map (function Jsonl.Counters c -> Some c | _ -> None) lines in
+      let acqs, still_open = reassemble events in
+      let nodes =
+        match List.assoc_opt "nodes" meta with Some s -> int_of_string_opt s | None -> None
+      in
+      Printf.printf "trace %s: %s\n\n" file
+        (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) meta));
+      Printf.printf "%d events, %d completed acquisitions, %d spans still open\n\n"
+        (List.length events) (List.length acqs) still_open;
+
+      (* Per-mode latency, exact percentiles from the raw episode latencies. *)
+      let mode_rows =
+        List.filter_map
+          (fun m ->
+            let ls =
+              List.filter_map
+                (fun a -> if Mode.equal a.a_mode m then Some (a.a_finish -. a.a_start) else None)
+                acqs
+            in
+            if ls = [] then None
+            else begin
+              let s = Sample.create () in
+              List.iter (Sample.add s) ls;
+              Some
+                [
+                  Mode.to_string m;
+                  string_of_int (Sample.count s);
+                  Printf.sprintf "%.1f" (Sample.mean s);
+                  Printf.sprintf "%.1f" (Sample.percentile s 50.0);
+                  Printf.sprintf "%.1f" (Sample.percentile s 95.0);
+                  Printf.sprintf "%.1f" (Sample.percentile s 99.0);
+                ]
+            end)
+          Mode.all
+      in
+      print_string "Acquisition latency by mode (ms)\n";
+      print_string
+        (Table.render ~header:[ "mode"; "n"; "mean"; "p50"; "p95"; "p99" ] mode_rows);
+
+      (* Grant-path economics: Rule 3.1 locality and the token-path length. *)
+      let local = List.filter (fun a -> a.a_kind = `Local) acqs in
+      let token = List.filter (fun a -> a.a_kind = `Token) acqs in
+      let upgrades = List.filter (fun a -> a.a_kind = `Upgrade) acqs in
+      let message_free = List.filter (fun a -> a.a_hops = 0) local in
+      let grants = List.length local + List.length token in
+      Printf.printf "\nGrant paths\n";
+      Printf.printf "  local grants (Rules 2, 3, 3.1)   %6d  (%d message-free)\n"
+        (List.length local) (List.length message_free);
+      Printf.printf "  token transfers (Rule 3.2)       %6d\n" (List.length token);
+      Printf.printf "  upgrades completed (Rule 7)      %6d\n" (List.length upgrades);
+      if grants > 0 then
+        Printf.printf "  local-grant ratio                %6.1f%%\n"
+          (100.0 *. float_of_int (List.length local) /. float_of_int grants);
+      let hop_dist which =
+        let tbl = Hashtbl.create 8 in
+        List.iter
+          (fun a ->
+            Hashtbl.replace tbl a.a_hops (1 + Option.value ~default:0 (Hashtbl.find_opt tbl a.a_hops)))
+          which;
+        Hashtbl.fold (fun h n acc -> (h, n) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let mean_hops which =
+        if which = [] then 0.0
+        else
+          float_of_int (List.fold_left (fun s a -> s + a.a_hops) 0 which)
+          /. float_of_int (List.length which)
+      in
+      let hops_rows =
+        let dl = hop_dist local and dt = hop_dist token in
+        let all_h = List.sort_uniq compare (List.map fst dl @ List.map fst dt) in
+        List.map
+          (fun h ->
+            [
+              string_of_int h;
+              string_of_int (Option.value ~default:0 (List.assoc_opt h dl));
+              string_of_int (Option.value ~default:0 (List.assoc_opt h dt));
+            ])
+          all_h
+      in
+      if hops_rows <> [] then begin
+        Printf.printf "\nRequest-path hops (relays before grant)\n";
+        print_string (Table.render ~header:[ "hops"; "local"; "token" ] hops_rows)
+      end;
+      (match nodes with
+      | Some n when token <> [] && n > 1 ->
+          let log2n = log (float_of_int n) /. log 2.0 in
+          Printf.printf
+            "  mean token-path hops %.2f vs log2(%d) = %.2f  (O(log n) check: ratio %.2f)\n"
+            (mean_hops token) n log2n
+            (mean_hops token /. log2n)
+      | _ -> ());
+
+      (* Message accounting: recorder's view vs the transport's Counters. *)
+      let counters_match = ref true in
+      if msgs <> [] then begin
+        Printf.printf "\nMessages by class (recorder vs transport counters)\n";
+        let rows =
+          List.map
+            (fun (cls, count, bytes) ->
+              let net =
+                match counters with
+                | None -> "-"
+                | Some cs -> (
+                    match List.assoc_opt cls cs with
+                    | Some n ->
+                        if n <> count then counters_match := false;
+                        string_of_int n
+                    | None ->
+                        if count <> 0 then counters_match := false;
+                        "0")
+              in
+              [ Msg_class.to_string cls; string_of_int count; string_of_int bytes; net ])
+            msgs
+        in
+        print_string (Table.render ~header:[ "class"; "count"; "bytes"; "counters" ] rows);
+        if counters <> None then
+          Printf.printf "  recorder vs counters: %s\n"
+            (if !counters_match then "exact match" else "MISMATCH")
+      end;
+
+      (* Gauges. *)
+      if gauges <> [] then begin
+        Printf.printf "\nGauges\n";
+        let names = List.sort_uniq compare (List.map (fun (_, n, _) -> n) gauges) in
+        let rows =
+          List.map
+            (fun name ->
+              let vs = List.filter_map (fun (_, n, v) -> if n = name then Some v else None) gauges in
+              let n = List.length vs in
+              let sum = List.fold_left ( +. ) 0.0 vs in
+              let mn = List.fold_left Float.min infinity vs in
+              let mx = List.fold_left Float.max neg_infinity vs in
+              [
+                name;
+                string_of_int n;
+                Printf.sprintf "%.2f" (sum /. float_of_int n);
+                Printf.sprintf "%.0f" mn;
+                Printf.sprintf "%.0f" mx;
+              ])
+            names
+        in
+        print_string (Table.render ~header:[ "gauge"; "samples"; "mean"; "min"; "max" ] rows)
+      end;
+
+      (* Freeze episodes. *)
+      let durations, open_freezes = freeze_episodes events in
+      if durations <> [] || open_freezes > 0 then begin
+        let n = List.length durations in
+        let sum = List.fold_left ( +. ) 0.0 durations in
+        let mx = List.fold_left Float.max 0.0 durations in
+        Printf.printf "\nFreeze episodes (Rule 6): %d closed" n;
+        if n > 0 then Printf.printf ", mean %.1f ms, max %.1f ms" (sum /. float_of_int n) mx;
+        if open_freezes > 0 then Printf.printf ", %d still open" open_freezes;
+        print_newline ()
+      end;
+
+      (* Slowest requests with their timelines. *)
+      let by_latency =
+        List.sort
+          (fun a b -> compare (b.a_finish -. b.a_start) (a.a_finish -. a.a_start))
+          acqs
+      in
+      let rec take k = function [] -> [] | x :: tl -> if k = 0 then [] else x :: take (k - 1) tl in
+      let slow = take slowest by_latency in
+      if slow <> [] then begin
+        Printf.printf "\nSlowest %d requests\n" (List.length slow);
+        List.iter
+          (fun a ->
+            Printf.printf "  %s %s: %.1f ms (%d hops, %s)\n" (pp_span_id a)
+              (Mode.to_string a.a_mode)
+              (a.a_finish -. a.a_start)
+              a.a_hops
+              (match a.a_kind with
+              | `Local -> "local grant"
+              | `Token -> "token transfer"
+              | `Upgrade -> "upgrade");
+            List.iter
+              (fun (e : Event.t) ->
+                Printf.printf "    +%8.1f ms  n%-3d %s\n" (e.time -. a.a_start) e.node
+                  (Event.kind_name e.kind))
+              a.a_events)
+          slow
+      end;
+
+      if check then begin
+        let failures = ref [] in
+        if acqs = [] then failures := "no completed spans" :: !failures;
+        if counters = None then failures := "no counters line" :: !failures
+        else if not !counters_match then
+          failures := "recorder message counts do not match transport counters" :: !failures;
+        match !failures with
+        | [] ->
+            Printf.printf "\ncheck: OK (%d spans, counters match)\n" (List.length acqs)
+        | fs ->
+            Printf.printf "\ncheck: FAILED (%s)\n" (String.concat "; " (List.rev fs));
+            exit 1
+      end
+
+let analyze_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"JSONL trace file.")
+  in
+  let slowest_arg =
+    Arg.(value & opt int 5 & info [ "slowest" ] ~docv:"K"
+           ~doc:"Show the K slowest requests with full timelines.")
+  in
+  let check_flag =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"Exit nonzero unless the trace has completed spans and the recorder's \
+                 message counts exactly match the embedded transport counters.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Analyze a JSONL trace: per-mode latency percentiles, grant-path \
+                              breakdown, message and gauge accounting, slowest requests.")
+    Term.(const analyze $ file_arg $ slowest_arg $ check_flag)
+
+let () =
+  let doc = "Request-lifecycle trace capture and analysis for the DCS protocols." in
+  let info = Cmd.info "dcs-trace" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ record_cmd; analyze_cmd ]))

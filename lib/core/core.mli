@@ -43,6 +43,9 @@ module Hlock_cluster = Dcs_runtime.Hlock_cluster
 module Naimi_cluster = Dcs_runtime.Naimi_cluster
 module Experiment = Dcs_runtime.Experiment
 module Airline = Dcs_workload.Airline
+module Obs_event = Dcs_obs.Event
+module Recorder = Dcs_obs.Recorder
+module Jsonl = Dcs_obs.Jsonl
 module Summary = Dcs_stats.Summary
 module Sample = Dcs_stats.Sample
 module Fit = Dcs_stats.Fit

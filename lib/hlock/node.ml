@@ -19,6 +19,9 @@ type t = {
   send : dst:Node_id.t -> Msg.t -> unit;
   on_granted : Msg.request -> unit;
   on_upgraded : int -> unit;
+  (* Telemetry hook ({!Dcs_obs}): the embedding fills in time/lock/node.
+     [None] costs one branch per lifecycle site and allocates nothing. *)
+  obs : (requester:Node_id.t -> seq:int -> Dcs_obs.Event.kind -> unit) option;
   mutable token : bool;
   mutable parent : Node_id.t option;
   mutable parent_stamp : int;  (* token-tenure knowledge when [parent] was set *)
@@ -66,7 +69,7 @@ type t = {
   mutable epoch_counter : int;
 }
 
-let create ?(config = default_config) ~id ~peers ~is_token ~parent ~send ~on_granted ~on_upgraded () =
+let create ?(config = default_config) ?obs ~id ~peers ~is_token ~parent ~send ~on_granted ~on_upgraded () =
   (* Freezes are the cache-revocation channel: without them a cached mode
      could block a conflicting writer forever. *)
   let config = if config.freezing then config else { config with caching = false } in
@@ -80,6 +83,7 @@ let create ?(config = default_config) ~id ~peers ~is_token ~parent ~send ~on_gra
     send;
     on_granted;
     on_upgraded;
+    obs;
     token = is_token;
     parent;
     parent_stamp = 0;
@@ -200,6 +204,21 @@ let owned_code_for t (r : Msg.request) =
 
 let is_frozen t m = t.config.freezing && Mode_set.mem m t.frozen
 
+(* Every assignment of [t.frozen] funnels through here so telemetry sees the
+   set deltas as Frozen/Unfrozen node events. *)
+let set_frozen t next =
+  let prev = t.frozen in
+  t.frozen <- next;
+  match t.obs with
+  | None -> ()
+  | Some f ->
+      let added = Mode_set.diff next prev in
+      let removed = Mode_set.diff prev next in
+      if not (Mode_set.is_empty added) then
+        f ~requester:(-1) ~seq:(-1) (Dcs_obs.Event.Frozen added);
+      if not (Mode_set.is_empty removed) then
+        f ~requester:(-1) ~seq:(-1) (Dcs_obs.Event.Unfrozen removed)
+
 (* Drop cached (unheld) modes that conflict with [m]; returns true if any
    were dropped. A cache is a convenience copy — any conflicting request
    outranks it. *)
@@ -259,11 +278,11 @@ let set_parent t p ~stamp =
 let refresh_freezes t =
   if t.config.freezing then begin
     if t.token then
-      t.frozen <-
-        List.fold_left
-          (fun acc (r : Msg.request) ->
-            Mode_set.union acc (Decision.freeze_set ~owned:(owned_code_for t r) r.mode))
-          Mode_set.empty t.queue;
+      set_frozen t
+        (List.fold_left
+           (fun acc (r : Msg.request) ->
+             Mode_set.union acc (Decision.freeze_set ~owned:(owned_code_for t r) r.mode))
+           Mode_set.empty t.queue);
     let kids = children t in
     List.iter
       (fun (c, cm) ->
@@ -313,7 +332,7 @@ let report_owned t ~force =
             t.last_reported <- None;
             (* Detached from the copyset: no freeze duties remain, and no
                un-freeze would reach us; drop any stale frozen set. *)
-            t.frozen <- Mode_set.empty
+            set_frozen t Mode_set.empty
           end
         end
   end
@@ -325,15 +344,27 @@ let clear_pending_if_match t (r : Msg.request) =
   | Some p when Msg.request_same p r -> t.pending <- None
   | _ -> ()
 
-(* Grant to a local client: enter the critical section. *)
-let grant_self t (r : Msg.request) =
+(* Grant to a local client: enter the critical section. [via_token] marks
+   grants delivered by a token transfer (Rule 3.2) for telemetry; every
+   other path — Rule 2 message-free, Rule 3/3.1 copy grants, token-node
+   local service — counts as a local grant. *)
+let grant_self ?(via_token = false) t (r : Msg.request) =
   clear_pending_if_match t r;
   held_add t r.seq r.mode;
+  (match t.obs with
+  | None -> ()
+  | Some f ->
+      f ~requester:r.requester ~seq:r.seq
+        (if via_token then Dcs_obs.Event.Granted_token { mode = r.mode; hops = r.hops }
+         else Dcs_obs.Event.Granted_local { mode = r.mode; hops = r.hops }));
   t.on_granted r
 
 let complete_upgrade t (r : Msg.request) =
   clear_pending_if_match t r;
   if Hashtbl.mem t.held r.seq then held_add t r.seq Mode.W;
+  (match t.obs with
+  | None -> ()
+  | Some f -> f ~requester:r.requester ~seq:r.seq Dcs_obs.Event.Upgraded);
   t.on_upgraded r.seq
 
 (* Copy grant (Rule 3): adopt the requester as a child at (at least) the
@@ -392,7 +423,7 @@ let transfer_token t (r : Msg.request) =
   t.accounted_parent <- (if residual = None then None else Some r.requester);
   t.accounted_epoch <- sender_epoch;
   t.last_reported <- residual;
-  t.frozen <- Mode_set.empty;
+  set_frozen t Mode_set.empty;
   emit t r.requester tok;
   (* Un-freeze our remaining children; the new token node re-freezes as
      needed once it recomputes from the merged queue. *)
@@ -401,6 +432,9 @@ let transfer_token t (r : Msg.request) =
 let enqueue t (r : Msg.request) =
   if r.requester = t.id then clear_pending_if_match t r;
   t.queue <- Msg.insert_by_service_order r t.queue;
+  (match t.obs with
+  | None -> ()
+  | Some f -> f ~requester:r.requester ~seq:r.seq Dcs_obs.Event.Queued);
   refresh_freezes t
 
 (* Global diagnostic counters (reset by tests/benches as needed). *)
@@ -467,6 +501,9 @@ let forward_onward ?via t (r : Msg.request) =
       let r = if r.Msg.hops > 0 && List.length r.Msg.path >= t.peers then { r with Msg.path = [ t.id; r.Msg.requester ] } else r in
       (if Msg.request_same r (match t.pending with Some p -> p | None -> { r with Msg.seq = -1 }) then
          t.pending_trail <- Some p);
+      (match t.obs with
+      | None -> ()
+      | Some f -> f ~requester:r.Msg.requester ~seq:r.Msg.seq (Dcs_obs.Event.Forwarded { dst = p }));
       emit t p (Msg.Request r)
   | None -> assert false
 
@@ -659,7 +696,7 @@ let handle_grant t ~src (r : Msg.request) ~epoch ~ancestry =
   detach_from_old_parent t ~src;
   (* A new accounting parent owns our freeze state from now on; stale sets
      from the old one must not linger (they would never be un-frozen). *)
-  if not same_parent then t.frozen <- Mode_set.empty;
+  if not same_parent then set_frozen t Mode_set.empty;
   t.accounted_parent <- Some src;
   t.accounted_epoch <- epoch;
   t.last_granter <- Some src;
@@ -700,8 +737,8 @@ let handle_token t ~src (m : Msg.t) =
       | Some m -> Hashtbl.replace t.children src (m, sender_epoch)
       | None -> Hashtbl.remove t.children src);
       t.queue <- Msg.merge_queues queue t.queue;
-      t.frozen <- frozen;
-      grant_self t serving;
+      set_frozen t frozen;
+      grant_self ~via_token:true t serving;
       refresh_freezes t;
       serve_queue t
   | _ -> assert false
@@ -727,7 +764,7 @@ let handle_freeze t ~src ~frozen =
     (* The granting restriction, however, follows the live copyset: only
        the current accounting parent may extend our frozen set. *)
     if t.accounted_parent = Some src then begin
-      t.frozen <- Mode_set.union t.frozen frozen;
+      set_frozen t (Mode_set.union t.frozen frozen);
       refresh_freezes t
     end;
     if dropped then after_owned_change t else serve_queue t
@@ -754,6 +791,9 @@ let request ?(priority = 0) t ~mode =
     { Msg.requester = t.id; seq; mode; upgrade = false; timestamp = tick t; priority;
       hops = 0; token_only = false; hint = my_hint t; path = [ t.id ] }
   in
+  (match t.obs with
+  | None -> ()
+  | Some f -> f ~requester:t.id ~seq (Dcs_obs.Event.Requested { mode; priority }));
   handle_request t r;
   seq
 
@@ -761,6 +801,9 @@ let release t ~seq =
   match held_remove t seq with
   | None -> invalid_arg (Printf.sprintf "Hlock.Node.release: #%d not held at node %d" seq t.id)
   | Some m ->
+      (match t.obs with
+      | None -> ()
+      | Some f -> f ~requester:t.id ~seq (Dcs_obs.Event.Released { mode = m }));
       if t.config.caching && not (is_frozen t m) then t.cached <- Mode_set.add m t.cached;
       after_owned_change t
 
@@ -783,6 +826,10 @@ let upgrade t ~seq =
           path = [ t.id ];
         }
       in
+      (* The upgrade re-opens the held instance's span as a W request. *)
+      (match t.obs with
+      | None -> ()
+      | Some f -> f ~requester:t.id ~seq (Dcs_obs.Event.Requested { mode = Mode.W; priority = 0 }));
       ignore (revoke_conflicting t Mode.W);
       let mo = owned_code_for t r in
       if Decision.token_can_grant ~owned:mo Mode.W then begin

@@ -84,9 +84,16 @@ type t
     [parent] pointing (directly or transitively) toward it. [send dst msg]
     must deliver [msg] to node [dst]'s {!handle_msg} (reliably, in any
     order). [on_granted r] fires when local request [r] is granted;
-    [on_upgraded seq] when a local U→W upgrade completes. *)
+    [on_upgraded seq] when a local U→W upgrade completes.
+
+    [obs], when given, receives every request-lifecycle event this node
+    produces ({!Dcs_obs.Event.kind}); the embedding supplies time, lock and
+    node identity when it records. [requester]/[seq] identify the span
+    ([-1]/[-1] for frozen-set node events). When absent, instrumentation
+    costs one branch per site and allocates nothing. *)
 val create :
   ?config:config ->
+  ?obs:(requester:Node_id.t -> seq:int -> Dcs_obs.Event.kind -> unit) ->
   id:Node_id.t ->
   peers:int ->
   is_token:bool ->

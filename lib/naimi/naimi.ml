@@ -1,7 +1,7 @@
 open Dcs_proto
 
 type msg =
-  | Request of { requester : Node_id.t }
+  | Request of { requester : Node_id.t; seq : int }
   | Token
 
 let class_of = function
@@ -9,24 +9,28 @@ let class_of = function
   | Token -> Msg_class.Token_transfer
 
 let pp_msg ppf = function
-  | Request { requester } -> Format.fprintf ppf "Request n%d" requester
+  | Request { requester; seq } -> Format.fprintf ppf "Request n%d#%d" requester seq
   | Token -> Format.pp_print_string ppf "Token"
 
 type t = {
   id : Node_id.t;
   send : dst:Node_id.t -> msg -> unit;
   on_acquired : unit -> unit;
+  obs : (requester:Node_id.t -> seq:int -> Dcs_obs.Event.kind -> unit) option;
   mutable father : Node_id.t option;
   mutable next : Node_id.t option;
   mutable token_present : bool;
   mutable requesting : bool;
   mutable in_cs : bool;
+  mutable next_seq : int;
+  mutable active : int;  (* seq of our outstanding/held request; -1 if none *)
 }
 
-let create ~id ~is_root ~father ~send ~on_acquired () =
+let create ?obs ~id ~is_root ~father ~send ~on_acquired () =
   if is_root && father <> None then invalid_arg "Naimi.create: root with a father";
   if (not is_root) && father = None then invalid_arg "Naimi.create: non-root without father";
-  { id; send; on_acquired; father; next = None; token_present = is_root; requesting = false; in_cs = false }
+  { id; send; on_acquired; obs; father; next = None; token_present = is_root;
+    requesting = false; in_cs = false; next_seq = 0; active = -1 }
 
 let id t = t.id
 let has_token t = t.token_present
@@ -43,23 +47,39 @@ let pp_state ppf t =
     (if t.requesting then " requesting" else "")
     (if t.in_cs then " in-cs" else "")
 
+(* Naimi locks are exclusive: telemetry records them as mode W. *)
+let observe t ~requester ~seq kind =
+  match t.obs with None -> () | Some f -> f ~requester ~seq kind
+
 let request t =
   if t.requesting || t.in_cs then invalid_arg "Naimi.request: already requesting or in CS";
   t.requesting <- true;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.active <- seq;
+  (match t.obs with
+  | None -> ()
+  | Some f -> f ~requester:t.id ~seq (Dcs_obs.Event.Requested { mode = Dcs_modes.Mode.W; priority = 0 }));
   match t.father with
   | None ->
       (* We are the root holding an idle token: enter immediately. *)
       assert t.token_present;
       t.in_cs <- true;
+      (match t.obs with
+      | None -> ()
+      | Some f ->
+          f ~requester:t.id ~seq (Dcs_obs.Event.Granted_local { mode = Dcs_modes.Mode.W; hops = 0 }));
       t.on_acquired ()
   | Some f ->
-      t.send ~dst:f (Request { requester = t.id });
+      t.send ~dst:f (Request { requester = t.id; seq });
       t.father <- None
 
 let release t =
   if not t.in_cs then invalid_arg "Naimi.release: not in CS";
   t.in_cs <- false;
   t.requesting <- false;
+  observe t ~requester:t.id ~seq:t.active (Dcs_obs.Event.Released { mode = Dcs_modes.Mode.W });
+  t.active <- -1;
   match t.next with
   | Some n ->
       t.token_present <- false;
@@ -73,16 +93,23 @@ let handle_msg t ~src:_ msg =
       assert t.requesting;
       t.token_present <- true;
       t.in_cs <- true;
+      (match t.obs with
+      | None -> ()
+      | Some f ->
+          f ~requester:t.id ~seq:t.active
+            (Dcs_obs.Event.Granted_token { mode = Dcs_modes.Mode.W; hops = 0 }));
       t.on_acquired ()
-  | Request { requester } -> (
+  | Request { requester; seq } -> (
       match t.father with
       | Some f ->
-          t.send ~dst:f (Request { requester });
+          observe t ~requester ~seq (Dcs_obs.Event.Forwarded { dst = f });
+          t.send ~dst:f (Request { requester; seq });
           t.father <- Some requester
       | None ->
           if t.requesting || t.in_cs then begin
             (* We are the queue tail: the requester follows us. *)
             assert (t.next = None);
+            observe t ~requester ~seq Dcs_obs.Event.Queued;
             t.next <- Some requester
           end
           else begin

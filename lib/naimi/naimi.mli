@@ -18,10 +18,15 @@
 open Dcs_proto
 
 type msg =
-  | Request of { requester : Node_id.t }
-      (** A request travelling the probable-owner chain. *)
+  | Request of { requester : Node_id.t; seq : int }
+      (** A request travelling the probable-owner chain. [(requester, seq)]
+          is the request's span id ({!Dcs_obs.Event}): [seq] is assigned by
+          the requester and unique per node, so events recorded at relaying
+          nodes stitch into one timeline. *)
   | Token
-      (** The token: permission to enter the critical section. *)
+      (** The token: permission to enter the critical section. The receiver
+          knows which of its requests is being served (it has at most one
+          outstanding), so the token carries no span id. *)
 
 (** Figure-7 bucket of a message ([Request] or [Token_transfer]). *)
 val class_of : msg -> Msg_class.t
@@ -34,8 +39,13 @@ type t
     Exactly one node has [is_root = true] (it starts with the token and
     [father = None]); all others point (directly or transitively) to it.
     [on_acquired ()] fires when this node's pending request obtains the
-    token (possibly synchronously inside {!request}). *)
+    token (possibly synchronously inside {!request}).
+
+    [obs] receives request-lifecycle events exactly as in
+    {!Dcs_hlock.Node.create}; Naimi requests are recorded as mode-[W]
+    spans (the lock is exclusive). *)
 val create :
+  ?obs:(requester:Node_id.t -> seq:int -> Dcs_obs.Event.kind -> unit) ->
   id:Node_id.t ->
   is_root:bool ->
   father:Node_id.t option ->

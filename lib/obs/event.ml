@@ -1,0 +1,57 @@
+open Dcs_modes
+open Dcs_proto
+
+type kind =
+  | Requested of { mode : Mode.t; priority : int }
+  | Forwarded of { dst : Node_id.t }
+  | Queued
+  | Granted_local of { mode : Mode.t; hops : int }
+  | Granted_token of { mode : Mode.t; hops : int }
+  | Upgraded
+  | Released of { mode : Mode.t }
+  | Frozen of Mode_set.t
+  | Unfrozen of Mode_set.t
+
+type t = {
+  time : float;
+  lock : int;
+  node : Node_id.t;
+  requester : Node_id.t;
+  seq : int;
+  kind : kind;
+}
+
+let kind_name = function
+  | Requested _ -> "requested"
+  | Forwarded _ -> "forwarded"
+  | Queued -> "queued"
+  | Granted_local _ -> "granted-local"
+  | Granted_token _ -> "granted-token"
+  | Upgraded -> "upgraded"
+  | Released _ -> "released"
+  | Frozen _ -> "frozen"
+  | Unfrozen _ -> "unfrozen"
+
+let is_node_event = function Frozen _ | Unfrozen _ -> true | _ -> false
+
+let is_grant = function Granted_local _ | Granted_token _ -> true | _ -> false
+
+let pp_kind ppf = function
+  | Requested { mode; priority } ->
+      Format.fprintf ppf "requested %a%s" Mode.pp mode
+        (if priority = 0 then "" else Printf.sprintf " p%d" priority)
+  | Forwarded { dst } -> Format.fprintf ppf "forwarded ->n%d" dst
+  | Queued -> Format.pp_print_string ppf "queued"
+  | Granted_local { mode; hops } -> Format.fprintf ppf "granted-local %a hops=%d" Mode.pp mode hops
+  | Granted_token { mode; hops } -> Format.fprintf ppf "granted-token %a hops=%d" Mode.pp mode hops
+  | Upgraded -> Format.pp_print_string ppf "upgraded"
+  | Released { mode } -> Format.fprintf ppf "released %a" Mode.pp mode
+  | Frozen s -> Format.fprintf ppf "frozen %a" Mode_set.pp s
+  | Unfrozen s -> Format.fprintf ppf "unfrozen %a" Mode_set.pp s
+
+let pp ppf t =
+  if is_node_event t.kind then
+    Format.fprintf ppf "[%10.3f] lock%d n%d %a" t.time t.lock t.node pp_kind t.kind
+  else
+    Format.fprintf ppf "[%10.3f] lock%d n%d {n%d#%d} %a" t.time t.lock t.node t.requester t.seq
+      pp_kind t.kind

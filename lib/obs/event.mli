@@ -1,0 +1,56 @@
+(** Request-lifecycle event vocabulary.
+
+    A {e span} is one lock request's life across the cluster, identified by
+    [(lock, requester, seq)] — exactly the id every protocol message already
+    carries ({!Dcs_hlock.Msg.request} fields [requester]/[seq], and the
+    Naimi baseline's request/seq pair), so events emitted at different nodes
+    stitch into one causal timeline without extra wire state.
+
+    Events split into {e span events} (carry a requester/seq) and
+    {e node events} ([Frozen]/[Unfrozen], which describe a node's frozen
+    mode set; their requester/seq are [-1]). *)
+
+open Dcs_modes
+open Dcs_proto
+
+type kind =
+  | Requested of { mode : Mode.t; priority : int }
+      (** a client issued the request at [node] (also emitted for Rule-7
+          upgrades, as a [W] request on the held instance's span) *)
+  | Forwarded of { dst : Node_id.t }
+      (** the request was relayed one hop from [node] to [dst]; the number
+          of [Forwarded] events on a span is its hop count *)
+  | Queued  (** the request entered [node]'s local FIFO queue *)
+  | Granted_local of { mode : Mode.t; hops : int }
+      (** granted without a token transfer: Rule 2 message-free acquisition
+          ([hops = 0]) or a Rule 3/3.1 copy grant ([hops] = relay hops the
+          request travelled) *)
+  | Granted_token of { mode : Mode.t; hops : int }
+      (** granted by token transfer (Rule 3.2 operational) *)
+  | Upgraded  (** a Rule-7 U→W upgrade completed on this span *)
+  | Released of { mode : Mode.t }  (** the client released the instance *)
+  | Frozen of Mode_set.t  (** modes added to [node]'s frozen set (Rule 6) *)
+  | Unfrozen of Mode_set.t  (** modes removed from [node]'s frozen set *)
+
+(** One recorded event. [requester]/[seq] are [-1] for node events. *)
+type t = {
+  time : float;  (** simulation time, ms *)
+  lock : int;
+  node : Node_id.t;  (** node at which the event happened *)
+  requester : Node_id.t;
+  seq : int;
+  kind : kind;
+}
+
+(** Canonical name: ["requested"], ["forwarded"], ["queued"],
+    ["granted-local"], ["granted-token"], ["upgraded"], ["released"],
+    ["frozen"], ["unfrozen"]. *)
+val kind_name : kind -> string
+
+(** [true] for [Frozen]/[Unfrozen]. *)
+val is_node_event : kind -> bool
+
+(** Span events granted by either grant kind. *)
+val is_grant : kind -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+(** Schema-versioned JSONL export of a {!Recorder}'s telemetry, and the
+    matching parser used by the [dcs-trace] analyzer.
+
+    Every line is a flat JSON object whose first field [k] names the line
+    kind; within a kind the field order is fixed, so output is byte-for-byte
+    deterministic for a deterministic run:
+
+    - [meta] — first line of every file: [{"k":"meta","schema":"dcs-obs/1",
+      ...caller pairs...}]. Callers record run parameters (driver, nodes,
+      locks, seed, ops) here.
+    - [ev] — one span/node event:
+      [{"k":"ev","t":…,"lock":…,"node":…,"req":…,"seq":…,"ev":"requested",
+      "mode":"R","arg":0,"set":""}]. [mode] is [""] for kinds without a
+      mode; [arg] carries the kind's integer payload (priority, forward
+      destination, hop count; 0 otherwise); [set] is a [+]-joined mode list
+      ("IR+R") for frozen/unfrozen, [""] otherwise.
+    - [gauge] — one sampled gauge: [{"k":"gauge","t":…,"name":…,"value":…}].
+    - [msgs] — per-class traffic as counted by the recorder, one line per
+      class in {!Msg_class.all} order (zero classes included):
+      [{"k":"msgs","cls":"request","count":…,"bytes":…}].
+    - [counters] — one line embedding the transport's authoritative
+      {!Dcs_proto.Counters} totals, for the analyzer's exact cross-check:
+      [{"k":"counters","request":…,…}] in {!Msg_class.all} order.
+
+    The parser accepts any flat JSON object (whitespace-insensitive,
+    fields in any order) — only the writer's ordering is canonical. *)
+
+open Dcs_proto
+
+(** Current schema tag: ["dcs-obs/1"]. *)
+val schema : string
+
+(** [write oc ~meta ?counters r] writes the whole file: meta line (with
+    [schema] injected first), retained events in chronological order, gauge
+    samples, per-class [msgs] lines, then the [counters] line if given. *)
+val write :
+  out_channel ->
+  meta:(string * string) list ->
+  ?counters:(Msg_class.t * int) list ->
+  Recorder.t ->
+  unit
+
+type line =
+  | Meta of (string * string) list  (** caller pairs, [schema] included *)
+  | Ev of Event.t
+  | Gauge of { time : float; name : string; value : float }
+  | Msgs of { cls : Msg_class.t; count : int; bytes : int }
+  | Counters of (Msg_class.t * int) list
+
+(** Parse one line. Errors describe the first offending token. *)
+val parse_line : string -> (line, string) result
+
+(** Parse a whole file; enforces that the first line is a [meta] line
+    carrying the current {!schema}. Errors are prefixed [line N: ]. *)
+val read_file : string -> (line list, string) result

@@ -1,0 +1,128 @@
+(** Structured telemetry recorder: the single sink every instrumented layer
+    writes into.
+
+    Zero-cost when disabled: instrumented code guards each emission with
+    {!enabled} (or is handed no recorder at all), so a disabled run pays at
+    most one branch per would-be event and allocates nothing.
+
+    When enabled, the recorder ingests three streams —
+
+    - {e span events} ({!record}): request-lifecycle events from the
+      protocol engines, which it both retains (for JSONL export, unless
+      [events:false]) and folds online into per-mode latency histograms
+      ({!Dcs_stats.Histogram}), grant-path counters (local vs token vs
+      message-free, Rule 3.1), per-span hop distributions and freeze-episode
+      durations;
+    - {e message accounting} ({!message}): per-class counts and encoded
+      byte sizes ({!Dcs_wire} sizes, supplied by the transport wrapper);
+    - {e gauges} ({!gauge}): values sampled on the engine tick hook (queue
+      depth, copyset size, frozen nodes, in-flight messages), summarized
+      per name and retained as samples for export.
+
+    A recorder observes exactly one run (one engine): times are that run's
+    simulation clock. Recording does not perturb the simulation — no RNG
+    draws, no events scheduled — so trace digests are unchanged. *)
+
+open Dcs_modes
+open Dcs_proto
+
+type t
+
+(** [create ~enabled ()] — [events:false] (default [true]) keeps only the
+    aggregate metrics and drops the per-event log, for long soaks where the
+    full event stream would dwarf memory. *)
+val create : ?events:bool -> enabled:bool -> unit -> t
+
+val enabled : t -> bool
+
+(** {1 Ingestion} *)
+
+(** Record one lifecycle event. [requester]/[seq] are [-1] for node events
+    ({!Event.Frozen}/{!Event.Unfrozen}). No-op when disabled. *)
+val record :
+  t ->
+  time:float ->
+  lock:int ->
+  node:Node_id.t ->
+  requester:Node_id.t ->
+  seq:int ->
+  Event.kind ->
+  unit
+
+(** Count one protocol message of class [cls] with encoded size [bytes].
+    No-op when disabled. *)
+val message : t -> cls:Msg_class.t -> bytes:int -> unit
+
+(** Record one gauge sample. No-op when disabled. *)
+val gauge : t -> time:float -> name:string -> value:float -> unit
+
+(** {1 Views} *)
+
+(** Retained events, chronological. Empty when created with
+    [events:false]. *)
+val events : t -> Event.t list
+
+(** Events ingested (even when not retained). *)
+val event_count : t -> int
+
+(** [Requested] events seen (= spans opened; an upgrade re-opens its
+    instance's span). *)
+val requested : t -> int
+
+(** Grants plus completed upgrades (= spans closed). *)
+val completed : t -> int
+
+(** Spans currently open (requested, not yet granted). *)
+val open_spans : t -> int
+
+(** Per-class message counts, {!Msg_class.all} order. *)
+val msg_counts : t -> (Msg_class.t * int) list
+
+(** Per-class encoded byte totals, {!Msg_class.all} order. *)
+val msg_bytes : t -> (Msg_class.t * int) list
+
+(** Grant-path decomposition (the paper's token-path economics). *)
+type grants = {
+  local : int;  (** granted without a token transfer (Rules 2, 3, 3.1) *)
+  token : int;  (** granted by token transfer (Rule 3.2) *)
+  message_free : int;  (** subset of [local] with zero hops (Rule 2) *)
+  upgrades : int;  (** completed Rule-7 upgrades *)
+}
+
+val grants : t -> grants
+
+(** Exact hop-count distribution [(hops, grants)] ascending, for grants of
+    the given path kind. *)
+val hop_distribution : t -> [ `Local | `Token ] -> (int * int) list
+
+(** Acquisition-latency summary per mode, only modes with grants, in
+    {!Mode.all} order. Quantiles come from the log-bucketed histogram
+    (upper bucket bounds); means are exact. *)
+type mode_stat = {
+  mode : Mode.t;
+  count : int;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
+val mode_stats : t -> mode_stat list
+
+(** The underlying latency histogram for one mode, if any grant of that
+    mode was recorded. *)
+val latency_histogram : t -> Mode.t -> Dcs_stats.Histogram.t option
+
+(** Durations (ms) of closed freeze episodes — the span from a node's
+    frozen set becoming non-empty to it draining empty (Rule 6 waits). *)
+val freeze_durations : t -> Dcs_stats.Summary.t
+
+(** Freeze episodes still open (non-empty frozen sets at observation end). *)
+val open_freezes : t -> int
+
+(** Per-name gauge summaries, name-sorted. *)
+val gauge_stats : t -> (string * Dcs_stats.Summary.t) list
+
+(** All gauge samples in recording order as [(time, name, value)]. Empty
+    when created with [events:false]. *)
+val gauge_samples : t -> (float * string * float) list

@@ -16,6 +16,8 @@ let reset t = Array.fill t 0 buckets 0
 
 let to_list t = List.map (fun c -> (c, get t c)) Msg_class.all
 
+let diff a b = List.map (fun c -> (c, get a c - get b c)) Msg_class.all
+
 let pp ppf t =
   Format.fprintf ppf "@[<h>%a@]"
     (Format.pp_print_list

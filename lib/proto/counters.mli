@@ -22,4 +22,9 @@ val reset : t -> unit
 (** [(class, count)] pairs in {!Msg_class.all} order. *)
 val to_list : t -> (Msg_class.t * int) list
 
+(** [diff now before] is the per-class delta [now - before], in
+    {!Msg_class.all} order — lets experiments report per-phase message
+    counts from cumulative snapshots. *)
+val diff : t -> t -> (Msg_class.t * int) list
+
 val pp : Format.formatter -> t -> unit

@@ -118,10 +118,10 @@ let record_acquired meter ~cls ~elapsed =
 
 (* {1 The hierarchical driver} *)
 
-let run_hierarchical ?transport cfg engine net meter =
+let run_hierarchical ?transport ?obs cfg engine net meter =
   let wl = cfg.workload in
   let cluster =
-    Hlock_cluster.create ~config:cfg.protocol ~oracle:cfg.oracle ?transport ~net
+    Hlock_cluster.create ~config:cfg.protocol ~oracle:cfg.oracle ?transport ?obs ~net
       ~nodes:cfg.nodes ~locks:(1 + wl.Airline.entries) ()
   in
   let master = Dcs_sim.Rng.create ~seed:cfg.seed in
@@ -204,10 +204,10 @@ let run_hierarchical ?transport cfg engine net meter =
 (* [Naimi_same_work]: entry ops take that entry's exclusive lock; table ops
    take every entry lock in ascending order (total order = no deadlock).
    [Naimi_pure]: one global lock for everything. *)
-let run_naimi cfg engine net meter ~pure =
+let run_naimi ?obs cfg engine net meter ~pure =
   let wl = cfg.workload in
   let locks = if pure then 1 else wl.Airline.entries in
-  let cluster = Naimi_cluster.create ~oracle:cfg.oracle ~net ~nodes:cfg.nodes ~locks () in
+  let cluster = Naimi_cluster.create ~oracle:cfg.oracle ?obs ~net ~nodes:cfg.nodes ~locks () in
   let master = Dcs_sim.Rng.create ~seed:cfg.seed in
   for node = 0 to cfg.nodes - 1 do
     let rng = Dcs_sim.Rng.split master in
@@ -248,7 +248,7 @@ let run_naimi cfg engine net meter ~pure =
 
 (* {1 Runner} *)
 
-let run ?trace cfg =
+let run ?trace ?recorder cfg =
   let engine = Dcs_sim.Engine.create () in
   let net_rng = Dcs_sim.Rng.create ~seed:(Int64.add cfg.seed 0x9E37L) in
   let net =
@@ -278,10 +278,29 @@ let run ?trace cfg =
   let transport = Option.map (fun s -> Dcs_fault.Reliable.send s) shim in
   let quiescent, cluster =
     match cfg.driver with
-    | Hierarchical -> run_hierarchical ?transport cfg engine net meter
-    | Naimi_same_work -> run_naimi cfg engine net meter ~pure:false
-    | Naimi_pure -> run_naimi cfg engine net meter ~pure:true
+    | Hierarchical -> run_hierarchical ?transport ?obs:recorder cfg engine net meter
+    | Naimi_same_work -> run_naimi ?obs:recorder cfg engine net meter ~pure:false
+    | Naimi_pure -> run_naimi ?obs:recorder cfg engine net meter ~pure:true
   in
+  (* Gauge sampling rides the engine tick hook, rate-limited to roughly one
+     sample per mean network latency so dense event bursts don't flood the
+     recorder. Observation only — no events scheduled, no RNG draws — so
+     trace digests and results are unchanged. *)
+  (match recorder with
+  | Some r when Dcs_obs.Recorder.enabled r ->
+      let period = Float.max 1.0 (Net.mean_latency net) in
+      let last = ref neg_infinity in
+      Dcs_sim.Engine.set_tick engine
+        (Some
+           (fun () ->
+             let now = Dcs_sim.Engine.now engine in
+             if now -. !last >= period then begin
+               last := now;
+               Dcs_obs.Recorder.gauge r ~time:now ~name:"in_flight"
+                 ~value:(float_of_int (Net.in_flight net));
+               match cluster with Some c -> Hlock_cluster.sample_gauges c r | None -> ()
+             end))
+  | _ -> ());
   let audit =
     match (cfg.chaos, cluster) with
     | Some { audit_period; _ }, Some cluster when audit_period > 0.0 ->
@@ -297,6 +316,7 @@ let run ?trace cfg =
   | Dcs_sim.Engine.Drained -> ()
   | Dcs_sim.Engine.Horizon_reached -> assert false
   | Dcs_sim.Engine.Event_limit -> failwith "Experiment.run: event limit hit (livelock?)");
+  Dcs_sim.Engine.set_tick engine None;
   if meter.ops_done <> expected then
     failwith
       (Printf.sprintf "Experiment.run (%s, n=%d): %d/%d operations completed — liveness failure"

@@ -101,8 +101,16 @@ type result = {
     detected at quiescence when [oracle] is set. Audit findings of a chaos
     run are {e reported} (in [chaos_report]), not raised, so harnesses can
     print them. [trace] (disabled by default) records every network event;
-    its digest is the reproducibility check for chaos runs. *)
-val run : ?trace:Dcs_sim.Trace.t -> config -> result
+    its digest is the reproducibility check for chaos runs.
+
+    [recorder], when given and enabled, captures full request-lifecycle
+    telemetry ({!Dcs_obs}): span events and per-class wire bytes from the
+    cluster, plus gauges (total queue depth, copyset size, frozen nodes,
+    in-flight messages) sampled on the engine tick hook at roughly one
+    sample per mean network latency. Recording is observation-only — it
+    draws no randomness and schedules no events — so results and trace
+    digests are identical with or without it. *)
+val run : ?trace:Dcs_sim.Trace.t -> ?recorder:Dcs_obs.Recorder.t -> config -> result
 
 (** One row of the experiment summary table. *)
 val result_row : result -> string list

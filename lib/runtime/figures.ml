@@ -50,6 +50,22 @@ let run_cell ?workload ?protocol ~seed (driver, n) =
         r.Experiment.messages;
   }
 
+(* One sweep cell re-run with full telemetry: exactly the configuration
+   (and seed) the cell would have inside a figure sweep, so a dcs-trace
+   capture is a drill-down into a published figure point, not a different
+   experiment. *)
+let traced_cell ?workload ?protocol ?(seed = 42L) ~recorder ~driver ~nodes () =
+  let cfg = Experiment.default_config ~driver ~nodes in
+  let cfg =
+    {
+      cfg with
+      Experiment.seed = cell_seed ~seed ~driver ~nodes;
+      workload = Option.value workload ~default:cfg.Experiment.workload;
+      protocol = Option.value protocol ~default:cfg.Experiment.protocol;
+    }
+  in
+  Experiment.run ~recorder cfg
+
 (* Every sweep goes through this one grid: cells fan out over domains
    (largest node counts first, so with dynamic distribution the long
    cells start early and short ones fill the tail) and results return in

@@ -37,6 +37,21 @@ val sweep :
   unit ->
   series
 
+(** Re-run one sweep cell with full telemetry: the configuration and seed
+    are exactly what the (driver, nodes) cell would use inside a figure
+    sweep (see {!sweep}), so the captured trace drills down into a figure
+    point rather than describing a different run. The recorder receives
+    events, message bytes and gauges as in {!Experiment.run}. *)
+val traced_cell :
+  ?workload:Dcs_workload.Airline.config ->
+  ?protocol:Dcs_hlock.Node.config ->
+  ?seed:int64 ->
+  recorder:Dcs_obs.Recorder.t ->
+  driver:Experiment.driver ->
+  nodes:int ->
+  unit ->
+  Experiment.result
+
 (** Figure 5: message overhead per lock request vs number of nodes, all
     three drivers, with a logarithmic fit for the scalable protocols. *)
 val fig5 : ?nodes:int list -> ?seed:int64 -> ?jobs:int -> unit -> series list * string

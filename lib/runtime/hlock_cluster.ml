@@ -143,7 +143,7 @@ let quiescent_violations t =
 
 (* {1 Construction} *)
 
-let create ?(config = Node.default_config) ?(oracle = false) ?transport ~net ~nodes:n
+let create ?(config = Node.default_config) ?(oracle = false) ?transport ?obs ~net ~nodes:n
     ~locks:l () =
   if n < 1 then invalid_arg "Hlock_cluster.create: need at least one node";
   (* Protocol messages travel through [transport] (default: the raw net);
@@ -151,6 +151,9 @@ let create ?(config = Node.default_config) ?(oracle = false) ?transport ~net ~no
   let transport : Dcs_proto.Link.send =
     match transport with Some s -> s | None -> Net.send net
   in
+  (* A disabled recorder is dropped here, so the per-node engines see
+     [None] and pay only the per-site branch. *)
+  let obs = match obs with Some r when Dcs_obs.Recorder.enabled r -> Some r | _ -> None in
   let t =
     { net; n; l; locks_arr = Array.init l (fun _ ->
           {
@@ -171,6 +174,16 @@ let create ?(config = Node.default_config) ?(oracle = false) ?transport ~net ~no
       Array.init n (fun id ->
           let send ~dst msg =
             Dcs_proto.Counters.incr ls.counters (Msg.class_of msg);
+            (match obs with
+            | None -> ()
+            | Some r ->
+                (* Per-class wire bytes: the codec is the authority on what
+                   this message costs on a real link. *)
+                Dcs_obs.Recorder.message r ~cls:(Msg.class_of msg)
+                  ~bytes:
+                    (String.length
+                       (Dcs_wire.Codec.encode
+                          { Dcs_wire.Codec.src = id; lock; payload = Dcs_wire.Codec.Hlock msg })));
             (match msg with Msg.Token _ -> ls.tokens_in_flight <- ls.tokens_in_flight + 1 | _ -> ());
             transport ~src:id ~dst ~cls:(Msg.class_of msg)
               ~describe:(fun () -> Format.asprintf "lock%d %a" lock Msg.pp msg)
@@ -200,7 +213,16 @@ let create ?(config = Node.default_config) ?(oracle = false) ?transport ~net ~no
                 cb ()
             | None -> Hashtbl.replace ls.upgraded_fired key ()
           in
-          Node.create ~config ~id ~peers:n ~is_token:(id = 0)
+          let node_obs =
+            match obs with
+            | None -> None
+            | Some r ->
+                Some
+                  (fun ~requester ~seq kind ->
+                    Dcs_obs.Recorder.record r ~time:(Net.now net) ~lock ~node:id ~requester
+                      ~seq kind)
+          in
+          Node.create ~config ?obs:node_obs ~id ~peers:n ~is_token:(id = 0)
             ~parent:(if id = 0 then None else Some 0)
             ~send ~on_granted ~on_upgraded ())
     in
@@ -241,6 +263,25 @@ let audit_views t =
 
 let kick_all t =
   Array.iter (fun ls -> Array.iter Node.kick ls.engines) t.locks_arr
+
+(* Cheap cluster-wide gauges for the engine-tick sampler. *)
+let sample_gauges t r =
+  if Dcs_obs.Recorder.enabled r then begin
+    let time = Net.now t.net in
+    let queued = ref 0 and copyset = ref 0 and frozen = ref 0 in
+    Array.iter
+      (fun ls ->
+        Array.iter
+          (fun e ->
+            queued := !queued + List.length (Node.queue e);
+            copyset := !copyset + List.length (Node.children e);
+            if not (Mode_set.is_empty (Node.frozen e)) then incr frozen)
+          ls.engines)
+      t.locks_arr;
+    Dcs_obs.Recorder.gauge r ~time ~name:"queue_depth" ~value:(float_of_int !queued);
+    Dcs_obs.Recorder.gauge r ~time ~name:"copyset_size" ~value:(float_of_int !copyset);
+    Dcs_obs.Recorder.gauge r ~time ~name:"frozen_nodes" ~value:(float_of_int !frozen)
+  end
 
 (* {1 Client operations} *)
 

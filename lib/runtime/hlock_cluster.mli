@@ -18,11 +18,17 @@ type t
 
 (** [transport] (default [Net.send net]) carries every protocol message;
     chaos experiments interpose {!Dcs_fault.Reliable.send} here so the
-    engines keep their reliable-FIFO delivery contract over lossy links. *)
+    engines keep their reliable-FIFO delivery contract over lossy links.
+
+    [obs], when given and enabled, receives every node's request-lifecycle
+    events (timestamped with the net's clock and tagged with lock and node
+    ids) plus per-class message counts and {!Dcs_wire.Codec} byte sizes. A
+    disabled recorder is equivalent to omitting it. *)
 val create :
   ?config:Dcs_hlock.Node.config ->
   ?oracle:bool ->
   ?transport:Dcs_proto.Link.send ->
+  ?obs:Dcs_obs.Recorder.t ->
   net:Net.t ->
   nodes:int ->
   locks:int ->
@@ -62,6 +68,13 @@ val audit_views : t -> Dcs_fault.Audit.lock_view list
     every lock. Schedule this periodically (a few network round-trips
     apart) from the driver. *)
 val kick_all : t -> unit
+
+(** Record cluster-wide gauges into the recorder at the current simulation
+    time: total local queue depth ([queue_depth]), total copyset records
+    ([copyset_size]) and nodes with a non-empty frozen set
+    ([frozen_nodes]). O(nodes × locks); call from a rate-limited engine
+    tick hook, not per event. *)
+val sample_gauges : t -> Dcs_obs.Recorder.t -> unit
 
 (** {1 Invariant oracles} *)
 

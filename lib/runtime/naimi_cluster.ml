@@ -52,8 +52,9 @@ let quiescent_violations t =
   done;
   List.rev !violations
 
-let create ?(oracle = false) ~net ~nodes:n ~locks:l () =
+let create ?(oracle = false) ?obs ~net ~nodes:n ~locks:l () =
   if n < 1 then invalid_arg "Naimi_cluster.create: need at least one node";
+  let obs = match obs with Some r when Dcs_obs.Recorder.enabled r -> Some r | _ -> None in
   let t =
     {
       net;
@@ -75,6 +76,14 @@ let create ?(oracle = false) ~net ~nodes:n ~locks:l () =
     let engines =
       Array.init n (fun id ->
           let send ~dst msg =
+            (match obs with
+            | None -> ()
+            | Some r ->
+                Dcs_obs.Recorder.message r ~cls:(Naimi.class_of msg)
+                  ~bytes:
+                    (String.length
+                       (Dcs_wire.Codec.encode
+                          { Dcs_wire.Codec.src = id; lock; payload = Dcs_wire.Codec.Naimi msg })));
             (match msg with
             | Naimi.Token -> ls.tokens_in_flight <- ls.tokens_in_flight + 1
             | Naimi.Request _ -> ());
@@ -97,7 +106,16 @@ let create ?(oracle = false) ~net ~nodes:n ~locks:l () =
                 cb ()
             | None -> Hashtbl.replace ls.acquired_fired id ()
           in
-          Naimi.create ~id ~is_root:(id = 0)
+          let node_obs =
+            match obs with
+            | None -> None
+            | Some r ->
+                Some
+                  (fun ~requester ~seq kind ->
+                    Dcs_obs.Recorder.record r ~time:(Net.now net) ~lock ~node:id ~requester
+                      ~seq kind)
+          in
+          Naimi.create ?obs:node_obs ~id ~is_root:(id = 0)
             ~father:(if id = 0 then None else Some 0)
             ~send ~on_acquired ())
     in

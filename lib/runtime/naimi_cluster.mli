@@ -3,7 +3,9 @@
 
 type t
 
-val create : ?oracle:bool -> net:Net.t -> nodes:int -> locks:int -> unit -> t
+(** [obs] as in {!Hlock_cluster.create}: request-lifecycle events plus
+    per-class message counts and wire byte sizes. *)
+val create : ?oracle:bool -> ?obs:Dcs_obs.Recorder.t -> net:Net.t -> nodes:int -> locks:int -> unit -> t
 
 val nodes : t -> int
 val locks : t -> int

@@ -135,6 +135,8 @@ let flush_held t =
 
 let counters t = t.counters
 
+let now t = Dcs_sim.Engine.now t.engine
+
 let in_flight t = t.in_flight + Queue.length t.held
 
 let held_count t = Queue.length t.held

@@ -41,6 +41,10 @@ val send :
 (** Message counts by class since creation. *)
 val counters : t -> Dcs_proto.Counters.t
 
+(** Current simulation time (the engine's clock) — lets embeddings
+    timestamp telemetry without holding the engine. *)
+val now : t -> float
+
 (** Messages sent but not yet delivered (including held ones). *)
 val in_flight : t -> int
 

@@ -19,6 +19,7 @@ type t = {
   mutable next_seq : int;
   clock : clock;
   mutable processed : int;
+  mutable tick : (unit -> unit) option;
 }
 
 type outcome =
@@ -37,7 +38,10 @@ let create () =
     next_seq = 0;
     clock = { time = 0.0 };
     processed = 0;
+    tick = None;
   }
+
+let set_tick t hook = t.tick <- hook
 
 let now t = t.clock.time
 
@@ -125,6 +129,7 @@ let step t =
     t.clock.time <- time;
     t.processed <- t.processed + 1;
     f ();
+    (match t.tick with None -> () | Some g -> g ());
     true
   end
 

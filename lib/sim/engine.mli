@@ -35,6 +35,13 @@ val run : ?until:float -> ?max_events:int -> t -> outcome
 (** Process a single event; [false] if the queue is empty. *)
 val step : t -> bool
 
+(** [set_tick t (Some hook)] installs a hook called after every processed
+    event (with the clock at that event's time); [set_tick t None] removes
+    it. Used by telemetry to sample gauges at simulated-time granularity
+    without perturbing the event stream. The disabled case costs one branch
+    per event. *)
+val set_tick : t -> (unit -> unit) option -> unit
+
 (** Number of queued events. *)
 val pending : t -> int
 

@@ -46,6 +46,10 @@ let retained t =
 
 let length = retained
 
+let total t = t.total
+
+let evicted t = t.total - retained t
+
 let ensure_room t =
   let cap = Array.length t.times in
   if t.total = cap then begin
@@ -93,4 +97,6 @@ let entries t =
 let digest t = t.hash
 
 let pp ppf t =
+  let n = evicted t in
+  if n > 0 then Format.fprintf ppf "... %d earlier entries evicted ...@." n;
   List.iter (fun (time, line) -> Format.fprintf ppf "[%10.3f] %s@." time line) (entries t)

@@ -23,10 +23,20 @@ val entries : t -> (float * string) list
 (** Number of retained entries. *)
 val length : t -> int
 
+(** Entries ever recorded, including any evicted from the ring;
+    [total t = length t + evicted t]. *)
+val total : t -> int
+
+(** Entries overwritten by the ring ([0] without a capacity). Lets tools
+    distinguish a partial trace from a full one. *)
+val evicted : t -> int
+
 (** FNV-1a hash over all entries ever recorded (including ones evicted from
     the ring). Equal runs give equal digests. Recording must be enabled for
     the digest to be meaningful. *)
 val digest : t -> int64
 
-(** Print entries as ["[%.3f] msg"] lines. *)
+(** Print entries as ["[%.3f] msg"] lines. When the ring wrapped, a
+    ["... N earlier entries evicted ..."] header precedes them, so a
+    truncated trace is never mistaken for a complete one. *)
 val pp : Format.formatter -> t -> unit

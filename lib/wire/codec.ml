@@ -11,7 +11,7 @@ type envelope = {
   payload : payload;
 }
 
-let version = 2  (* v2: request carries a priority *)
+let version = 3  (* v2: request carries a priority; v3: naimi request carries a span seq *)
 
 let mode w (m : Mode.t) = Buf.u8 w (Mode.index m)
 
@@ -113,14 +113,18 @@ let read_hlock_msg r : Msg.t =
 
 let naimi_msg w (m : Dcs_naimi.Naimi.msg) =
   match m with
-  | Dcs_naimi.Naimi.Request { requester } ->
+  | Dcs_naimi.Naimi.Request { requester; seq } ->
       Buf.u8 w 0;
-      Buf.varint w requester
+      Buf.varint w requester;
+      Buf.varint w seq
   | Dcs_naimi.Naimi.Token -> Buf.u8 w 1
 
 let read_naimi_msg r : Dcs_naimi.Naimi.msg =
   match Buf.read_u8 r with
-  | 0 -> Dcs_naimi.Naimi.Request { requester = Buf.read_varint r }
+  | 0 ->
+      let requester = Buf.read_varint r in
+      let seq = Buf.read_varint r in
+      Dcs_naimi.Naimi.Request { requester; seq }
   | 1 -> Dcs_naimi.Naimi.Token
   | t -> raise (Buf.Malformed (Printf.sprintf "bad naimi tag %d" t))
 

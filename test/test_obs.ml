@@ -1,0 +1,244 @@
+(* Telemetry tests: Counters.diff / pp ordering, the Recorder's span and
+   metric accounting, JSONL round-tripping, and an end-to-end crosscheck
+   of recorder message counts against the transport's Counters. *)
+
+open Dcs_modes
+module Msg_class = Dcs_proto.Msg_class
+module Counters = Dcs_proto.Counters
+module Event = Dcs_obs.Event
+module Recorder = Dcs_obs.Recorder
+module Jsonl = Dcs_obs.Jsonl
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* {1 Counters satellite} *)
+
+let test_counters_diff () =
+  let before = Counters.create () and now = Counters.create () in
+  Counters.incr before Msg_class.Request;
+  List.iter
+    (fun c -> Counters.incr now c)
+    [ Msg_class.Request; Request; Request; Copy_grant; Ack ];
+  let d = Counters.diff now before in
+  Alcotest.check
+    Alcotest.(list int)
+    "per-class delta in Msg_class.all order"
+    [ 2; 1; 0; 0; 0; 1; 0 ]
+    (List.map snd d);
+  Alcotest.check Alcotest.bool "classes in canonical order" true
+    (List.map fst d = Msg_class.all)
+
+let test_counters_pp_ordering () =
+  let c = Counters.create () in
+  (* Fill in reverse canonical order: pp must still render in
+     Msg_class.all order, not insertion order. *)
+  List.iter (Counters.incr c) (List.rev Msg_class.all);
+  let rendered = Format.asprintf "%a" Counters.pp c in
+  let positions =
+    List.map
+      (fun cls ->
+        let name = Msg_class.to_string cls ^ "=" in
+        let nh = String.length rendered and nn = String.length name in
+        let rec go i =
+          if i + nn > nh then Alcotest.failf "%s missing from %S" name rendered
+          else if String.sub rendered i nn = name then i
+          else go (i + 1)
+        in
+        go 0)
+      Msg_class.all
+  in
+  checkb "pp renders classes in Msg_class.all order" true
+    (List.sort compare positions = positions)
+
+(* {1 Recorder} *)
+
+let ev r ~time ~node ~requester ~seq kind =
+  Recorder.record r ~time ~lock:0 ~node ~requester ~seq kind
+
+(* One local grant (1 hop), one token grant (0 hops, then upgraded), and
+   a freeze episode — exercises every accounting path. *)
+let populate r =
+  ev r ~time:0.0 ~node:1 ~requester:1 ~seq:0 (Event.Requested { mode = Mode.R; priority = 0 });
+  ev r ~time:1.0 ~node:1 ~requester:1 ~seq:0 (Event.Forwarded { dst = 0 });
+  ev r ~time:2.0 ~node:0 ~requester:1 ~seq:0 Event.Queued;
+  ev r ~time:5.0 ~node:1 ~requester:1 ~seq:0 (Event.Granted_local { mode = Mode.R; hops = 1 });
+  ev r ~time:6.0 ~node:2 ~requester:2 ~seq:0 (Event.Requested { mode = Mode.IW; priority = 1 });
+  ev r ~time:9.0 ~node:2 ~requester:2 ~seq:0 (Event.Granted_token { mode = Mode.IW; hops = 0 });
+  ev r ~time:10.0 ~node:2 ~requester:2 ~seq:0 (Event.Requested { mode = Mode.W; priority = 0 });
+  ev r ~time:14.0 ~node:2 ~requester:2 ~seq:0 Event.Upgraded;
+  ev r ~time:15.0 ~node:1 ~requester:1 ~seq:0 (Event.Released { mode = Mode.R });
+  ev r ~time:3.0 ~node:0 ~requester:(-1) ~seq:(-1)
+    (Event.Frozen (Mode_set.of_list [ Mode.IR; Mode.R ]));
+  ev r ~time:8.0 ~node:0 ~requester:(-1) ~seq:(-1)
+    (Event.Unfrozen (Mode_set.of_list [ Mode.IR; Mode.R ]));
+  Recorder.message r ~cls:Msg_class.Request ~bytes:40;
+  Recorder.message r ~cls:Msg_class.Request ~bytes:2;
+  Recorder.message r ~cls:Msg_class.Token_transfer ~bytes:25;
+  Recorder.gauge r ~time:1.0 ~name:"queue_depth" ~value:3.0;
+  Recorder.gauge r ~time:2.0 ~name:"queue_depth" ~value:5.0
+
+let test_recorder_accounting () =
+  let r = Recorder.create ~enabled:true () in
+  populate r;
+  checki "events retained" 11 (Recorder.event_count r);
+  checki "spans requested" 3 (Recorder.requested r);
+  checki "spans completed" 3 (Recorder.completed r);
+  checki "no open spans" 0 (Recorder.open_spans r);
+  let g = Recorder.grants r in
+  checki "local grants" 1 g.Recorder.local;
+  checki "token grants" 1 g.Recorder.token;
+  checki "upgrades" 1 g.Recorder.upgrades;
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "local hop distribution" [ (1, 1) ]
+    (Recorder.hop_distribution r `Local);
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "token hop distribution" [ (0, 1) ]
+    (Recorder.hop_distribution r `Token);
+  checki "request msgs" 2
+    (List.assoc Msg_class.Request (Recorder.msg_counts r));
+  checki "request bytes" 42
+    (List.assoc Msg_class.Request (Recorder.msg_bytes r));
+  checki "no grant msgs" 0
+    (List.assoc Msg_class.Copy_grant (Recorder.msg_counts r));
+  let fr = Recorder.freeze_durations r in
+  checki "one freeze episode" 1 (Dcs_stats.Summary.count fr);
+  checkb "freeze duration 5ms" true (abs_float (Dcs_stats.Summary.mean fr -. 5.0) < 1e-9);
+  checki "no open freezes" 0 (Recorder.open_freezes r);
+  let stats = Recorder.mode_stats r in
+  let find m = List.find (fun s -> Mode.equal s.Recorder.mode m) stats in
+  checki "R count" 1 (find Mode.R).Recorder.count;
+  checki "W count (upgrade closes as W)" 1 (find Mode.W).Recorder.count;
+  checkb "R mean latency 5ms" true
+    (abs_float ((find Mode.R).Recorder.mean_ms -. 5.0) < 1e-9)
+
+let test_recorder_disabled () =
+  let r = Recorder.create ~enabled:false () in
+  populate r;
+  checki "no events" 0 (Recorder.event_count r);
+  checki "no spans" 0 (Recorder.requested r);
+  checki "no messages" 0 (List.assoc Msg_class.Request (Recorder.msg_counts r));
+  checkb "reports disabled" false (Recorder.enabled r)
+
+let test_recorder_metrics_only () =
+  let r = Recorder.create ~events:false ~enabled:true () in
+  populate r;
+  checki "event log off" 0 (List.length (Recorder.events r));
+  checki "metrics still counted" 3 (Recorder.completed r);
+  checki "messages still counted" 2
+    (List.assoc Msg_class.Request (Recorder.msg_counts r))
+
+(* {1 JSONL round-trip} *)
+
+let test_jsonl_roundtrip () =
+  let r = Recorder.create ~enabled:true () in
+  populate r;
+  let counters = [ (Msg_class.Request, 2); (Msg_class.Token_transfer, 1) ] in
+  let path = Filename.temp_file "dcs_obs_test" ".jsonl" in
+  let oc = open_out path in
+  Jsonl.write oc ~meta:[ ("nodes", "3"); ("driver", "test") ] ~counters r;
+  close_out oc;
+  let lines =
+    match Jsonl.read_file path with
+    | Ok ls -> ls
+    | Error e -> Alcotest.failf "read_file: %s" e
+  in
+  Sys.remove path;
+  (match lines with
+  | Jsonl.Meta m :: _ ->
+      Alcotest.check
+        Alcotest.(option string)
+        "schema first" (Some Jsonl.schema) (List.assoc_opt "schema" m);
+      Alcotest.check Alcotest.(option string) "meta kept" (Some "3") (List.assoc_opt "nodes" m)
+  | _ -> Alcotest.fail "first line is not meta");
+  let parsed = List.filter_map (function Jsonl.Ev e -> Some e | _ -> None) lines in
+  let original = Recorder.events r in
+  checki "event count survives" (List.length original) (List.length parsed);
+  List.iter2
+    (fun (a : Event.t) (b : Event.t) ->
+      checkb "event round-trips" true
+        (a.lock = b.lock && a.node = b.node && a.requester = b.requester && a.seq = b.seq
+        && abs_float (a.time -. b.time) < 1e-6
+        && a.kind = b.kind))
+    original parsed;
+  let span_set evs =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (e : Event.t) ->
+           if Event.is_node_event e.kind then None else Some (e.lock, e.requester, e.seq))
+         evs)
+  in
+  checkb "identical span set" true (span_set original = span_set parsed);
+  (match List.find_map (function Jsonl.Counters c -> Some c | _ -> None) lines with
+  | None -> Alcotest.fail "counters line missing"
+  | Some cs ->
+      checki "counters request" 2 (List.assoc Msg_class.Request cs);
+      checki "counters token" 1 (List.assoc Msg_class.Token_transfer cs));
+  let msgs_lines = List.filter (function Jsonl.Msgs _ -> true | _ -> false) lines in
+  checki "one msgs line per class" (List.length Msg_class.all) (List.length msgs_lines)
+
+let test_jsonl_rejects_garbage () =
+  checkb "bad json" true (Result.is_error (Jsonl.parse_line "{\"k\":"));
+  checkb "unknown kind" true (Result.is_error (Jsonl.parse_line "{\"k\":\"nope\"}"));
+  checkb "trailing junk" true (Result.is_error (Jsonl.parse_line "{\"k\":\"meta\"} extra"))
+
+(* {1 End-to-end: recorder counts match the transport Counters} *)
+
+let test_traced_run_crosschecks () =
+  let module Experiment = Dcs_runtime.Experiment in
+  let recorder = Recorder.create ~enabled:true () in
+  let workload =
+    { Dcs_workload.Airline.default_config with Dcs_workload.Airline.ops_per_node = 8 }
+  in
+  let result =
+    Dcs_runtime.Figures.traced_cell ~workload ~recorder
+      ~driver:Experiment.Hierarchical ~nodes:8 ()
+  in
+  checkb "spans completed" true (Recorder.completed recorder > 0);
+  checki "all spans closed" 0 (Recorder.open_spans recorder);
+  List.iter
+    (fun (cls, n) ->
+      checki
+        (Printf.sprintf "class %s matches transport" (Msg_class.to_string cls))
+        n
+        (List.assoc cls (Recorder.msg_counts recorder)))
+    result.Experiment.messages;
+  (* Naimi spans close too (exclusive locks recorded as mode W). *)
+  let nrec = Recorder.create ~enabled:true () in
+  let nres =
+    Dcs_runtime.Figures.traced_cell ~workload ~recorder:nrec
+      ~driver:Experiment.Naimi_pure ~nodes:8 ()
+  in
+  checkb "naimi spans completed" true (Recorder.completed nrec > 0);
+  List.iter
+    (fun (cls, n) ->
+      checki
+        (Printf.sprintf "naimi class %s matches" (Msg_class.to_string cls))
+        n
+        (List.assoc cls (Recorder.msg_counts nrec)))
+    nres.Experiment.messages
+
+let () =
+  Alcotest.run "dcs_obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "diff" `Quick test_counters_diff;
+          Alcotest.test_case "pp ordering" `Quick test_counters_pp_ordering;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "accounting" `Quick test_recorder_accounting;
+          Alcotest.test_case "disabled records nothing" `Quick test_recorder_disabled;
+          Alcotest.test_case "metrics-only" `Quick test_recorder_metrics_only;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_jsonl_rejects_garbage;
+        ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "recorder vs counters" `Quick test_traced_run_crosschecks ] );
+    ]

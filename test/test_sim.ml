@@ -224,6 +224,60 @@ let test_trace_capacity () =
     "keeps newest" [ "3"; "4"; "5" ]
     (List.map snd (Trace.entries tr))
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_trace_wraparound () =
+  let tr = Trace.create ~capacity:4 ~enabled:true () in
+  for i = 1 to 3 do
+    Trace.record tr ~time:(float_of_int i) (fun () -> string_of_int i)
+  done;
+  (* under capacity *)
+  checki "total under capacity" 3 (Trace.total tr);
+  checki "nothing evicted yet" 0 (Trace.evicted tr);
+  (* capacity hit exactly *)
+  Trace.record tr ~time:4.0 (fun () -> "4");
+  checki "total at capacity" 4 (Trace.total tr);
+  checki "exact fill evicts nothing" 0 (Trace.evicted tr);
+  (* capacity exceeded *)
+  Trace.record tr ~time:5.0 (fun () -> "5");
+  checki "total counts evicted entries" 5 (Trace.total tr);
+  checki "one evicted" 1 (Trace.evicted tr);
+  checki "length + evicted = total" (Trace.total tr) (Trace.length tr + Trace.evicted tr);
+  (* no capacity: never evicts *)
+  let un = Trace.create ~enabled:true () in
+  for i = 1 to 100 do
+    Trace.record un ~time:(float_of_int i) (fun () -> string_of_int i)
+  done;
+  checki "unbounded never evicts" 0 (Trace.evicted un);
+  checki "unbounded total" 100 (Trace.total un)
+
+let test_trace_digest_across_wrap () =
+  (* The digest covers every entry ever recorded, so the ring capacity
+     (including none at all) must not change it. *)
+  let fill capacity =
+    let tr = Trace.create ?capacity ~enabled:true () in
+    for i = 1 to 20 do
+      Trace.record tr ~time:(float_of_int i) (fun () -> string_of_int i)
+    done;
+    Trace.digest tr
+  in
+  Alcotest.check Alcotest.int64 "digest independent of capacity" (fill None) (fill (Some 4));
+  Alcotest.check Alcotest.int64 "digest stable across wraps" (fill (Some 4)) (fill (Some 4))
+
+let test_trace_pp_eviction_header () =
+  let render tr = Format.asprintf "%a" Trace.pp tr in
+  let tr = Trace.create ~capacity:2 ~enabled:true () in
+  for i = 1 to 5 do
+    Trace.record tr ~time:(float_of_int i) (fun () -> string_of_int i)
+  done;
+  checkb "eviction header present" true (contains (render tr) "3 earlier entries evicted");
+  let full = Trace.create ~capacity:9 ~enabled:true () in
+  Trace.record full ~time:1.0 (fun () -> "x");
+  checkb "no header when nothing evicted" false (contains (render full) "evicted")
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "dcs_sim"
@@ -263,5 +317,8 @@ let () =
           Alcotest.test_case "determinism" `Quick test_trace_determinism;
           Alcotest.test_case "disabled is free" `Quick test_trace_disabled_is_free;
           Alcotest.test_case "capacity ring" `Quick test_trace_capacity;
+          Alcotest.test_case "wraparound accounting" `Quick test_trace_wraparound;
+          Alcotest.test_case "digest across wrap" `Quick test_trace_digest_across_wrap;
+          Alcotest.test_case "pp eviction header" `Quick test_trace_pp_eviction_header;
         ] );
     ]

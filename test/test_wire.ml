@@ -69,7 +69,7 @@ let gen_envelope =
           map (fun m -> Codec.Hlock m) gen_hlock_msg;
           oneofl
             [
-              Codec.Naimi (Dcs_naimi.Naimi.Request { requester = 3 });
+              Codec.Naimi (Dcs_naimi.Naimi.Request { requester = 3; seq = 17 });
               Codec.Naimi Dcs_naimi.Naimi.Token;
             ];
         ]
