@@ -12,8 +12,15 @@ open Cmdliner
 let run_node ~self ~config ~ops ~seed =
   let runner = Dcs_netkit.Runner.create ~config ~self () in
   Dcs_netkit.Runner.start runner;
-  (* Give every peer a moment to bind before the first request storm. *)
-  Thread.delay 0.3;
+  (* Explicit barrier: don't fire the first request storm until every peer
+     has bound its listen port (replaces a fixed startup sleep that raced
+     slow peers). *)
+  (match Dcs_netkit.Runner.await_peers runner ~timeout:15.0 with
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "node %d: %s\n%!" self e;
+      Dcs_netkit.Runner.stop runner;
+      exit 1);
   let rng = Dcs_sim.Rng.create ~seed:Int64.(add seed (of_int self)) in
   let locks = config.Dcs_netkit.Cluster_config.locks in
   for i = 1 to ops do

@@ -1,0 +1,201 @@
+module Engine = Dcs_sim.Engine
+module Rng = Dcs_sim.Rng
+module Net = Dcs_runtime.Net
+module Cluster = Dcs_runtime.Hlock_cluster
+
+type case = {
+  seed : int64;
+  script : Script.t;
+  plan : string option;
+  mutation : Dcs_hlock.Node.mutation option;
+  max_overtakes : int;
+}
+
+type verdict = {
+  case : case;
+  violations : string list;
+  completed : bool;
+  outcome : Engine.outcome;
+  grants : int;
+  upgrades : int;
+  releases : int;
+  messages : int;
+  sim_ms : float;
+  engine_events : int;
+  digest : int64;
+  oracle : Oracle.report;
+}
+
+let mutation_to_string = function
+  | Dcs_hlock.Node.Weak_freeze -> "weak-freeze"
+  | Dcs_hlock.Node.Ignore_frozen -> "ignore-frozen"
+
+let mutation_of_string = function
+  | "weak-freeze" -> Some Dcs_hlock.Node.Weak_freeze
+  | "ignore-frozen" -> Some Dcs_hlock.Node.Ignore_frozen
+  | _ -> None
+
+let case ?plan ?mutation ?(max_overtakes = 100) ~seed ~nodes ~locks ~ops () =
+  (match plan with
+  | Some p when not (List.mem p Dcs_fault.Plan.names) ->
+      invalid_arg ("Fuzz.case: unknown plan " ^ p)
+  | _ -> ());
+  { seed; script = Script.generate ~seed ~nodes ~locks ~ops; plan; mutation; max_overtakes }
+
+let mean_latency_ms = 150.0
+
+(* Deadline for declaring starvation. Worst case is fully serialized W
+   traffic: each op may need a multi-hop token transfer (a few latencies)
+   plus its hold time. Generous on purpose — a passing run drains long
+   before it; only a genuinely stuck run reaches the horizon. *)
+let deadline (c : case) ~plan_horizon =
+  Script.last_issue c.script
+  +. plan_horizon
+  +. (float_of_int (List.length c.script.ops) *. (25.0 +. (8.0 *. mean_latency_ms)))
+  +. 10_000.0
+
+let run (c : case) =
+  (match Script.validate c.script with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Fuzz.run: invalid script: " ^ e));
+  let script = c.script in
+  let n_ops = List.length script.ops in
+  let engine = Engine.create () in
+  let trace = Dcs_sim.Trace.create ~enabled:true () in
+  let net_rng = Rng.create ~seed:(Int64.add c.seed 0x9E37L) in
+  let net =
+    Net.create ~engine ~latency:(Dcs_sim.Dist.uniform_around mean_latency_ms) ~rng:net_rng
+      ~trace ()
+  in
+  (* Fault plan windows are placed inside the issue phase of the script. *)
+  let plan =
+    match c.plan with
+    | None -> []
+    | Some name -> (
+        let horizon = Float.max 2_000.0 (Script.last_issue script) in
+        match Dcs_fault.Plan.named ~nodes:script.nodes ~horizon name with
+        | Some p -> p
+        | None -> invalid_arg ("Fuzz.run: unknown plan " ^ name))
+  in
+  let plan_rng = Rng.create ~seed:(Int64.add c.seed 0x0FADL) in
+  Dcs_fault.Plan.install plan ~engine ~rng:plan_rng ~set_fault:(Net.set_fault net)
+    ~flush:(fun () -> Net.flush_held net);
+  let shim =
+    if Dcs_fault.Plan.needs_shim plan then
+      Some (Dcs_fault.Reliable.create ~engine ~rto:(4.0 *. mean_latency_ms) ~below:(Net.send net) ())
+    else None
+  in
+  let transport = Option.map Dcs_fault.Reliable.send shim in
+  let recorder = Dcs_obs.Recorder.create ~events:true ~enabled:true () in
+  let config = { Dcs_hlock.Node.default_config with mutation = c.mutation } in
+  let cluster =
+    Cluster.create ~config ~oracle:true ?transport ~obs:recorder ~net ~nodes:script.nodes
+      ~locks:script.locks ()
+  in
+  let grants = ref 0 and upgrades = ref 0 and releases = ref 0 in
+  let violations = ref [] in
+  let aborted = ref false in
+  (* The per-message safety oracle raises Failure from inside the event
+     loop; catch it at the driver boundary and keep the partial trace. *)
+  let expected_upgrades =
+    List.length (List.filter (fun (o : Script.op) -> o.kind = Script.Acquire_upgrade) script.ops)
+  in
+  let done_ops () = !releases = n_ops in
+  (* Much shorter than the benchmark harness's 400x: fuzz horizons are
+     tight, so the custody watchdog must get several chances to unwind a
+     crossing before the run is declared stuck. Kicks are cheap no-ops
+     outside the vulnerable state. *)
+  let kick_period = 20.0 *. mean_latency_ms in
+  let rec kick_loop () =
+    if not (done_ops ()) then begin
+      Cluster.kick_all cluster;
+      Engine.schedule engine ~after:kick_period kick_loop
+    end
+  in
+  if n_ops > 0 then Engine.schedule engine ~after:kick_period kick_loop;
+  List.iter
+    (fun (o : Script.op) ->
+      Engine.schedule_at engine ~time:o.at (fun () ->
+          let seq = ref (-1) in
+          seq :=
+            Cluster.request ~priority:o.priority cluster ~node:o.node ~lock:o.lock
+              ~mode:o.mode ~on_granted:(fun () ->
+                incr grants;
+                match o.kind with
+                | Script.Acquire ->
+                    Engine.schedule engine ~after:o.hold (fun () ->
+                        Cluster.release cluster ~node:o.node ~lock:o.lock ~seq:!seq;
+                        incr releases)
+                | Script.Acquire_upgrade ->
+                    Engine.schedule engine ~after:(o.hold /. 2.0) (fun () ->
+                        Cluster.upgrade cluster ~node:o.node ~lock:o.lock ~seq:!seq
+                          ~on_upgraded:(fun () ->
+                            incr upgrades;
+                            Engine.schedule engine ~after:(o.hold /. 2.0) (fun () ->
+                                Cluster.release cluster ~node:o.node ~lock:o.lock
+                                  ~seq:!seq;
+                                incr releases))))))
+    script.ops;
+  let until = deadline c ~plan_horizon:(Dcs_fault.Plan.horizon plan) in
+  let outcome =
+    match Engine.run ~until ~max_events:20_000_000 engine with
+    | o -> o
+    | exception Failure msg ->
+        aborted := true;
+        violations := Printf.sprintf "safety: %s" msg :: !violations;
+        Engine.Drained
+  in
+  (match outcome with
+  | Engine.Event_limit -> violations := "engine event limit hit (livelock?)" :: !violations
+  | Engine.Drained | Engine.Horizon_reached -> ());
+  let completed =
+    (not !aborted)
+    && !grants = n_ops
+    && !upgrades = expected_upgrades
+    && !releases = n_ops
+  in
+  if (not completed) && not !aborted then
+    violations :=
+      Printf.sprintf
+        "liveness: %d/%d grants, %d/%d upgrades, %d/%d releases completed by horizon %.0f ms"
+        !grants n_ops !upgrades expected_upgrades !releases n_ops until
+      :: !violations;
+  if completed then
+    List.iter
+      (fun v -> violations := ("quiescence: " ^ v) :: !violations)
+      (Cluster.quiescent_violations cluster
+      @ (match shim with Some s -> Dcs_fault.Reliable.quiescent_violations s | None -> []));
+  let oracle =
+    Oracle.conformance ~max_overtakes:c.max_overtakes ~require_complete:(not !aborted)
+      ~events:(Dcs_obs.Recorder.events recorder) ()
+  in
+  List.iter (fun v -> violations := ("oracle: " ^ v) :: !violations) oracle.Oracle.violations;
+  {
+    case = c;
+    violations = List.rev !violations;
+    completed;
+    outcome;
+    grants = !grants;
+    upgrades = !upgrades;
+    releases = !releases;
+    messages = Dcs_proto.Counters.total (Net.counters net);
+    sim_ms = Engine.now engine;
+    engine_events = Engine.events_processed engine;
+    digest = Dcs_sim.Trace.digest trace;
+    oracle;
+  }
+
+let failed v = v.violations <> []
+
+let pp_verdict ppf v =
+  Format.fprintf ppf
+    "@[<v>%s seed=%Ld nodes=%d locks=%d ops=%d plan=%s mutation=%s@,\
+     grants=%d upgrades=%d releases=%d messages=%d sim=%.0fms digest=%016Lx"
+    (if failed v then "FAIL" else "pass")
+    v.case.seed v.case.script.Script.nodes v.case.script.Script.locks
+    (List.length v.case.script.Script.ops)
+    (Option.value v.case.plan ~default:"none")
+    (match v.case.mutation with None -> "none" | Some m -> mutation_to_string m)
+    v.grants v.upgrades v.releases v.messages v.sim_ms v.digest;
+  List.iter (fun s -> Format.fprintf ppf "@,  %s" s) v.violations;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,64 @@
+(** The randomized-schedule fuzz driver.
+
+    One {!case} bundles everything a run depends on — script, seed, fault
+    plan, seeded protocol mutation, fairness bound — and {!run} is a pure
+    function of it: the same case always produces the same {!verdict} and
+    the same {!Dcs_sim.Trace} digest, so failures replay and shrink
+    exactly.
+
+    A run executes the script on a simulated cluster with the runtime
+    safety oracle checking every delivered message
+    ({!Dcs_runtime.Hlock_cluster} with [oracle:true]: single token,
+    pairwise-compatible held modes), records the full
+    {!Dcs_obs.Event.t} trace, and on completion checks:
+
+    - quiescence structural invariants ({!Dcs_runtime.Hlock_cluster.quiescent_violations});
+    - trace conformance against the reference semantics
+      ({!Oracle.conformance});
+    - liveness: every scripted operation granted, upgraded and released
+      before the (generous) horizon. *)
+
+type case = {
+  seed : int64;  (** drives network latency draws and the fault plan *)
+  script : Script.t;
+  plan : string option;  (** a {!Dcs_fault.Plan.names} scenario *)
+  mutation : Dcs_hlock.Node.mutation option;
+  max_overtakes : int;  (** fairness bound, see {!Oracle.conformance} *)
+}
+
+type verdict = {
+  case : case;
+  violations : string list;  (** empty = pass *)
+  completed : bool;  (** every op granted + upgraded + released *)
+  outcome : Dcs_sim.Engine.outcome;
+  grants : int;
+  upgrades : int;
+  releases : int;
+  messages : int;
+  sim_ms : float;
+  engine_events : int;
+  digest : int64;  (** network trace digest — the run's identity *)
+  oracle : Oracle.report;
+}
+
+(** [case ~seed ~nodes ~locks ~ops ()] generates the script from the same
+    seed. [max_overtakes] defaults to 100. *)
+val case :
+  ?plan:string ->
+  ?mutation:Dcs_hlock.Node.mutation ->
+  ?max_overtakes:int ->
+  seed:int64 ->
+  nodes:int ->
+  locks:int ->
+  ops:int ->
+  unit ->
+  case
+
+val run : case -> verdict
+val failed : verdict -> bool
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** Corpus/CLI names: ["weak-freeze"], ["ignore-frozen"]. *)
+val mutation_to_string : Dcs_hlock.Node.mutation -> string
+
+val mutation_of_string : string -> Dcs_hlock.Node.mutation option

@@ -1,0 +1,128 @@
+open Dcs_modes
+module Rng = Dcs_sim.Rng
+
+type kind = Acquire | Acquire_upgrade
+
+type op = {
+  at : float;
+  node : int;
+  lock : int;
+  mode : Mode.t;
+  priority : int;
+  hold : float;
+  kind : kind;
+}
+
+type t = { nodes : int; locks : int; ops : op list }
+
+(* Mode mix skewed toward conflict: writers and updaters are rare in real
+   hierarchies but are where Rules 6/7 live, so oversample them. *)
+let draw_mode rng =
+  let r = Rng.int rng ~bound:100 in
+  if r < 20 then Mode.IR
+  else if r < 50 then Mode.R
+  else if r < 65 then Mode.U
+  else if r < 80 then Mode.IW
+  else Mode.W
+
+let generate ~seed ~nodes ~locks ~ops =
+  if nodes < 1 || locks < 1 || ops < 0 then invalid_arg "Script.generate";
+  let rng = Rng.create ~seed in
+  let t = ref 0.0 in
+  let make _ =
+    (* Bursty arrivals: a short mean inter-arrival keeps several requests
+       in flight against the ~150 ms simulated latency. *)
+    t := !t +. Rng.exponential rng ~mean:30.0;
+    let mode = draw_mode rng in
+    let kind =
+      if mode = Mode.U && Rng.bool rng then Acquire_upgrade else Acquire
+    in
+    let priority = if Rng.int rng ~bound:10 = 0 then 1 + Rng.int rng ~bound:3 else 0 in
+    let hold = Float.min 200.0 (Rng.exponential rng ~mean:15.0) in
+    {
+      at = !t;
+      node = Rng.int rng ~bound:nodes;
+      lock = Rng.int rng ~bound:locks;
+      mode;
+      priority;
+      hold;
+      kind;
+    }
+  in
+  { nodes; locks; ops = List.init ops make }
+
+let last_issue t =
+  List.fold_left (fun acc (o : op) -> Float.max acc o.at) 0.0 t.ops
+
+let validate t =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if t.nodes < 1 then err "nodes < 1"
+  else if t.locks < 1 then err "locks < 1"
+  else
+    let rec go prev = function
+      | [] -> Ok ()
+      | o :: rest ->
+          if o.node < 0 || o.node >= t.nodes then err "op node %d out of range" o.node
+          else if o.lock < 0 || o.lock >= t.locks then err "op lock %d out of range" o.lock
+          else if o.at < prev then err "ops not sorted by time at %g" o.at
+          else if o.priority < 0 then err "negative priority"
+          else if o.hold < 0.0 then err "negative hold"
+          else if o.kind = Acquire_upgrade && o.mode <> Mode.U then
+            err "upgrade op with mode %s" (Mode.to_string o.mode)
+          else go o.at rest
+    in
+    go 0.0 t.ops
+
+let kind_name = function Acquire -> "acquire" | Acquire_upgrade -> "upgrade"
+
+let kind_of_name = function
+  | "acquire" -> Some Acquire
+  | "upgrade" -> Some Acquire_upgrade
+  | _ -> None
+
+let op_to_line o =
+  Printf.sprintf "op at=%.3f node=%d lock=%d mode=%s prio=%d hold=%.3f kind=%s"
+    o.at o.node o.lock (Mode.to_string o.mode) o.priority o.hold
+    (kind_name o.kind)
+
+let op_of_line line =
+  let fields = String.split_on_char ' ' (String.trim line) in
+  match fields with
+  | "op" :: kvs -> (
+      let tbl = Hashtbl.create 8 in
+      let bad = ref None in
+      List.iter
+        (fun kv ->
+          match String.index_opt kv '=' with
+          | Some i ->
+              Hashtbl.replace tbl
+                (String.sub kv 0 i)
+                (String.sub kv (i + 1) (String.length kv - i - 1))
+          | None -> if !bad = None then bad := Some kv)
+        kvs;
+      match !bad with
+      | Some kv -> Error (Printf.sprintf "malformed op field %S" kv)
+      | None -> (
+          let get k = Hashtbl.find_opt tbl k in
+          let int k = Option.bind (get k) int_of_string_opt in
+          let flt k = Option.bind (get k) float_of_string_opt in
+          match
+            ( flt "at",
+              int "node",
+              int "lock",
+              Option.bind (get "mode") Mode.of_string,
+              int "prio",
+              flt "hold",
+              Option.bind (get "kind") kind_of_name )
+          with
+          | Some at, Some node, Some lock, Some mode, Some priority, Some hold, Some kind
+            ->
+              Ok { at; node; lock; mode; priority; hold; kind }
+          | _ -> Error (Printf.sprintf "malformed op line %S" line)))
+  | _ -> Error (Printf.sprintf "not an op line: %S" line)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>script nodes=%d locks=%d ops=%d" t.nodes t.locks
+    (List.length t.ops);
+  List.iter (fun o -> Format.fprintf ppf "@,%s" (op_to_line o)) t.ops;
+  Format.fprintf ppf "@]"

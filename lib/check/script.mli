@@ -1,0 +1,54 @@
+(** Seed-deterministic client workloads for the fuzzer.
+
+    A script is a fixed list of timed client operations over a node
+    population and a lock set — the "test input" half of a fuzz case
+    ({!Fuzz.case}). Scripts are plain data: generation is a pure function
+    of the seed, and the corpus format ({!Corpus}) round-trips them
+    exactly, so a failing schedule can be replayed and shrunk
+    byte-for-byte. *)
+
+open Dcs_modes
+
+type kind =
+  | Acquire  (** request, hold, release *)
+  | Acquire_upgrade
+      (** request [U], hold, upgrade to [W] (Rule 7), hold, release *)
+
+type op = {
+  at : float;  (** issue time, simulated ms *)
+  node : int;
+  lock : int;
+  mode : Mode.t;  (** [U] when [kind = Acquire_upgrade] *)
+  priority : int;
+  hold : float;  (** client hold time after the grant, ms *)
+  kind : kind;
+}
+
+type t = {
+  nodes : int;
+  locks : int;
+  ops : op list;  (** ascending [at] *)
+}
+
+(** [generate ~seed ~nodes ~locks ~ops] draws a conflict-heavy workload:
+    bursty exponential arrivals, a mode mix skewed toward the conflicting
+    end of Table 1, short exponential holds, occasional non-zero
+    priorities, and upgrades on roughly half the [U] requests. Equal
+    arguments yield equal scripts. *)
+val generate : seed:int64 -> nodes:int -> locks:int -> ops:int -> t
+
+(** Issue time of the last op (0 for the empty script). *)
+val last_issue : t -> float
+
+(** Structural sanity: node/lock ids in range, non-negative times and
+    priorities, [Acquire_upgrade] implies mode [U], ops sorted by [at]. *)
+val validate : t -> (unit, string) result
+
+(** {1 Corpus line format}
+
+    One op per line:
+    [op at=12.500 node=3 lock=0 mode=R prio=0 hold=15.000 kind=acquire] *)
+
+val op_to_line : op -> string
+val op_of_line : string -> (op, string) result
+val pp : Format.formatter -> t -> unit

@@ -46,6 +46,11 @@ module Airline = Dcs_workload.Airline
 module Obs_event = Dcs_obs.Event
 module Recorder = Dcs_obs.Recorder
 module Jsonl = Dcs_obs.Jsonl
+module Fuzz = Dcs_check.Fuzz
+module Fuzz_script = Dcs_check.Script
+module Fuzz_oracle = Dcs_check.Oracle
+module Fuzz_corpus = Dcs_check.Corpus
+module Fuzz_shrink = Dcs_check.Shrink
 module Summary = Dcs_stats.Summary
 module Sample = Dcs_stats.Sample
 module Fit = Dcs_stats.Fit

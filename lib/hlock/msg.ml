@@ -16,7 +16,7 @@ type request = {
 
 type t =
   | Request of request
-  | Grant of { req : request; epoch : int; ancestry : Node_id.t list }
+  | Grant of { req : request; epoch : int; recorded : Mode.t; ancestry : Node_id.t list }
   | Token of {
       serving : request;
       sender_owned : Mode.t option;
@@ -46,8 +46,8 @@ let pp_owned ppf = function
 
 let pp ppf = function
   | Request r -> Format.fprintf ppf "Request %a" pp_request r
-  | Grant { req; epoch; ancestry } ->
-      Format.fprintf ppf "Grant %a e%d anc=[%s]" pp_request req epoch
+  | Grant { req; epoch; recorded; ancestry } ->
+      Format.fprintf ppf "Grant %a e%d rec=%a anc=[%s]" pp_request req epoch Mode.pp recorded
         (String.concat "," (List.map string_of_int ancestry))
   | Token { serving; sender_owned; sender_epoch; queue; frozen } ->
       Format.fprintf ppf "Token serving=%a sender_owned=%a e%d |queue|=%d frozen=%a" pp_request

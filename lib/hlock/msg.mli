@@ -54,16 +54,26 @@ type request = {
 type t =
   | Request of request
       (** A request being issued or relayed up parent links (Rules 2, 4). *)
-  | Grant of { req : request; epoch : int; ancestry : Dcs_proto.Node_id.t list }
+  | Grant of {
+      req : request;
+      epoch : int;
+      recorded : Mode.t;
+      ancestry : Dcs_proto.Node_id.t list;
+    }
       (** Copy grant: the sender granted [req] and adopted the requester as
           its child (Rule 3). Sent directly to [req.requester]. [epoch] is
           the granter's fresh epoch for this parent/child relationship;
           the child echoes it in every {!Release} so the granter can drop
-          release messages that crossed the grant in flight. [ancestry] is
-          the granter's accounting-ancestor chain (nearest first, granter
-          not included); the grantee prepends the granter and adopts it, so
-          it can refuse to child-grant to its own (approximate)
-          ancestors. *)
+          release messages that crossed the grant in flight. [recorded] is
+          the child mode the granter wrote into its copyset record — at
+          least [req.mode], and stronger when a previous record was carried
+          over because its release may still be in flight; the child adopts
+          it as its last-reported mode so any gap between the record and
+          what it really owns is repaired by its next report rather than
+          silently lost with the stale-epoch release. [ancestry] is the
+          granter's accounting-ancestor chain (nearest first, granter not
+          included); the grantee prepends the granter and adopts it, so it
+          can refuse to child-grant to its own (approximate) ancestors. *)
   | Token of {
       serving : request;  (** the request answered by this transfer *)
       sender_owned : Mode.t option;

@@ -1,16 +1,26 @@
 open Dcs_modes
 open Dcs_proto
 
+type mutation = Weak_freeze | Ignore_frozen
+
 type config = {
   eager_release : bool;
   freezing : bool;
   reverse_all : bool;
   grant_edges : bool;
   caching : bool;
+  mutation : mutation option;
 }
 
 let default_config =
-  { eager_release = false; freezing = true; reverse_all = false; grant_edges = true; caching = true }
+  {
+    eager_release = false;
+    freezing = true;
+    reverse_all = false;
+    grant_edges = true;
+    caching = true;
+    mutation = None;
+  }
 
 type t = {
   config : config;
@@ -202,7 +212,10 @@ let owned_code_for t (r : Msg.request) =
     !best
   end
 
-let is_frozen t m = t.config.freezing && Mode_set.mem m t.frozen
+let is_frozen t m =
+  t.config.freezing
+  && t.config.mutation <> Some Ignore_frozen
+  && Mode_set.mem m t.frozen
 
 (* Every assignment of [t.frozen] funnels through here so telemetry sees the
    set deltas as Frozen/Unfrozen node events. *)
@@ -277,12 +290,25 @@ let set_parent t p ~stamp =
    freezing and un-freezing travel, and only when something changed. *)
 let refresh_freezes t =
   if t.config.freezing then begin
-    if t.token then
-      set_frozen t
-        (List.fold_left
-           (fun acc (r : Msg.request) ->
-             Mode_set.union acc (Decision.freeze_set ~owned:(owned_code_for t r) r.mode))
-           Mode_set.empty t.queue);
+    if t.token then begin
+      let fs =
+        List.fold_left
+          (fun acc (r : Msg.request) ->
+            Mode_set.union acc (Decision.freeze_set ~owned:(owned_code_for t r) r.mode))
+          Mode_set.empty t.queue
+      in
+      let fs =
+        match t.config.mutation with
+        | Some Weak_freeze -> (
+            (* Seeded fault (Dcs_check): weakened Table 2(b) — the strongest
+               mode every queued request needs frozen is left grantable. *)
+            match Compat.strongest (Mode_set.to_list fs) with
+            | Some m -> Mode_set.remove m fs
+            | None -> fs)
+        | _ -> fs
+      in
+      set_frozen t fs
+    end;
     let kids = children t in
     List.iter
       (fun (c, cm) ->
@@ -376,13 +402,20 @@ let grant_copy t (r : Msg.request) =
      we already sent must be re-sent. *)
   Hashtbl.remove t.sent_freeze r.requester;
   let mode =
+    (* Never let the record under-cover: a stronger previous record is
+       carried over because its weakening release may still be in flight
+       (safety depends on records covering descendants). The grant tells
+       the child what we recorded, so if the release really did cross —
+       and is about to be dropped as stale-epoch — the child re-reports
+       the weakening under the fresh epoch instead. *)
     match Hashtbl.find_opt t.children r.requester with
     | Some (m, _) -> if Mode.stronger_eq m r.mode then m else r.mode
     | None -> r.mode
   in
   Hashtbl.replace t.children r.requester (mode, epoch);
   let ancestry = if t.token then [] else t.ancestry in
-  emit t r.requester (Msg.Grant { req = { r with Msg.hint = my_hint t }; epoch; ancestry });
+  emit t r.requester
+    (Msg.Grant { req = { r with Msg.hint = my_hint t }; epoch; recorded = mode; ancestry });
   refresh_freezes t
 
 (* Token transfer (Rule 3.2 operational): hand over the token, our queue and
@@ -591,7 +624,7 @@ let handle_request t (r : Msg.request) =
   else if r.requester = t.id then begin
     (* Rule 2, local request at a non-token node. *)
     let mo = owned_code t in
-    match t.pending with
+    (match t.pending with
     | Some p when Msg.request_same p r ->
         (* Our own pending request was relayed back to us (transient cycle
            while a token is in flight): keep it moving. *)
@@ -606,18 +639,22 @@ let handle_request t (r : Msg.request) =
               { r with Msg.token_only = true }
             else r
           in
-          (match t.pending with
+          match t.pending with
           | None ->
               t.pending <- Some r;
               forward_onward t r
           | Some p ->
               if Decision.queueable ~pending:(Decision.code_of_mode p.mode) r.mode then enqueue t r
-              else forward_onward t r);
-          if revoked then begin
-            report_owned t ~force:false;
-            refresh_freezes t
-          end
-        end
+              else forward_onward t r
+        end);
+    (* Every path above must surface the revocation — including the
+       relayed-back escape: our request may circle for a while, and until
+       the weakening is reported the old granter's record of us blocks
+       exactly the conflicting mode we are asking for. *)
+    if revoked then begin
+      report_owned t ~force:false;
+      refresh_freezes t
+    end
   end
   else if r.token_only then begin
     (* Token-bound: relay without granting or absorbing (see Msg.request). *)
@@ -688,9 +725,25 @@ let detach_from_old_parent t ~src =
       emit t q (Msg.Release { new_owned = None; epoch = t.accounted_epoch })
   | _ -> ()
 
-let handle_grant t ~src (r : Msg.request) ~epoch ~ancestry =
+let rec handle_grant t ~src (r : Msg.request) ~epoch ~recorded ~ancestry =
   observe_clock t r.timestamp;
   observe_hint t r.hint;
+  if t.token then begin
+    (* A copy grant can race a token transfer: this request was still
+       circulating when the token reached us (serving a younger request of
+       ours). Recording [src] as accounting parent would make the root a
+       child of a non-token node — a copyset cycle in which every node's
+       owned mode is justified only by the next, so no freeze or release
+       can ever unwind it and conflicting requests starve. Cancel the
+       granter's child record and serve the request ourselves: we are the
+       root now, Rule 3.2 applies. *)
+    emit t src (Msg.Release { new_owned = None; epoch });
+    clear_pending_if_match t r;
+    handle_request t r
+  end
+  else handle_grant_at_child t ~src r ~epoch ~recorded ~ancestry
+
+and handle_grant_at_child t ~src (r : Msg.request) ~epoch ~recorded ~ancestry =
   t.ancestry <- src :: ancestry;
   let same_parent = t.accounted_parent = Some src in
   detach_from_old_parent t ~src;
@@ -709,12 +762,17 @@ let handle_grant t ~src (r : Msg.request) ~epoch ~ancestry =
      next U/W request in an eternal two-node relay (see DESIGN.md §2 for
      the counterexample). Routing pointers move only on U/W reversal and
      token transfer — Naimi's proven discipline. *)
-  t.last_reported <-
-    (if same_parent then Compat.max_mode t.last_reported (Decision.some_mode r.mode)
-     else Decision.some_mode r.mode);
+  (* [recorded] is exactly what the granter wrote into its record for us —
+     [r.mode], or a stronger carried-over mode whose release may have
+     crossed this grant and be headed for a stale-epoch drop. Adopting it
+     makes the repair below bidirectional. *)
+  t.last_reported <- Decision.some_mode recorded;
   grant_self t r;
-  (* Repair: if we owned more than the granter could know (a release crossed
-     the grant), push a strengthening update so the record covers us. *)
+  (* Repair both crossing directions: strengthen if we own more than the
+     record (a release crossed the grant and already landed), weaken if we
+     own less (our release is about to be dropped as stale — without this
+     the carried-over record pins a mode nobody owns and the conflicting
+     request it blocks starves). *)
   report_owned t ~force:false;
   refresh_freezes t;
   serve_queue t
@@ -776,7 +834,8 @@ let handle_msg t ~src msg =
       observe_clock t r.timestamp;
       observe_hint t r.hint;
       handle_request t r
-  | Msg.Grant { req; epoch; ancestry } -> handle_grant t ~src req ~epoch ~ancestry
+  | Msg.Grant { req; epoch; recorded; ancestry } ->
+      handle_grant t ~src req ~epoch ~recorded ~ancestry
   | Msg.Token _ -> handle_token t ~src msg
   | Msg.Release { new_owned; epoch } -> handle_release t ~src ~new_owned ~epoch
   | Msg.Freeze { frozen } -> handle_freeze t ~src ~frozen

@@ -43,6 +43,19 @@
 open Dcs_modes
 open Dcs_proto
 
+(** Deliberately-broken protocol variants, for validating correctness
+    tooling ({!Dcs_check}): a checker worth trusting must catch these.
+    Never enabled by {!default_config}. *)
+type mutation =
+  | Weak_freeze
+      (** The token node computes every Table 2(b) freeze set one mode
+          short (the strongest member is dropped), so the caches blocking a
+          queued writer are never revoked — the writer starves. *)
+  | Ignore_frozen
+      (** Grant decisions skip the frozen-set check entirely (Rule 6's
+          gating off): newcomers overtake queued conflicting requests
+          without bound, and retained caches can block a writer forever. *)
+
 (** Ablation switches; the paper's protocol is {!default_config}. *)
 type config = {
   eager_release : bool;
@@ -71,6 +84,9 @@ type config = {
           until the copy is revoked by a freeze or by a conflicting request
           passing through. When false, every release relinquishes the mode
           immediately. *)
+  mutation : mutation option;
+      (** Seeded protocol fault for differential testing; [None] (the
+          default) is the faithful protocol. See {!mutation}. *)
 }
 
 val default_config : config

@@ -24,6 +24,7 @@ type run = {
   mutable upgraded : int;
   mutable outstanding : int;  (* requests not yet fully finished *)
   mutable tokens_in_flight : int;
+  mutable grant_log : (int * int * Mode.t) list;  (* (node, seq, mode), newest first *)
 }
 
 let link run src dst =
@@ -37,7 +38,7 @@ let link run src dst =
 let replay ?config ~nodes ~actions path =
   let run =
     { nodes_arr = [||]; wire = ref []; granted = 0; upgraded = 0; outstanding = 0;
-      tokens_in_flight = 0 }
+      tokens_in_flight = 0; grant_log = [] }
   in
   (* Plan lookup: what the client at [node] does with grant [seq]. *)
   let plans : (int * int, [ `Release | `Upgrade ]) Hashtbl.t = Hashtbl.create 8 in
@@ -50,6 +51,7 @@ let replay ?config ~nodes ~actions path =
         let rec node () = run.nodes_arr.(id)
         and on_granted (r : Msg.request) =
           run.granted <- run.granted + 1;
+          run.grant_log <- (id, r.seq, r.mode) :: run.grant_log;
           match Hashtbl.find_opt plans (id, r.seq) with
           | Some `Release ->
               run.outstanding <- run.outstanding - 1;
@@ -152,6 +154,29 @@ let safety_violations run =
     add "token multiplicity %d" (holders + run.tokens_in_flight);
   !out
 
+(* Grant-order fairness, checked only in terminal states: a node's own
+   requests for the same mode must be granted in issue (seq) order. This is
+   the strongest FIFO property the protocol actually promises — cache
+   grants may legitimately overtake remote requests of other modes until
+   the freeze propagates, but two identical local requests take the same
+   path (both self-granted, or both absorbed into the same FIFO queue), so
+   reordering them means a queue discipline bug. *)
+let grant_order_violations run =
+  let out = ref [] in
+  let last : (int * Mode.t, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (node, seq, mode) ->
+      (match Hashtbl.find_opt last (node, mode) with
+      | Some prev when prev > seq ->
+          out :=
+            Printf.sprintf "grant order: n%d granted %s seq %d after seq %d" node
+              (Mode.to_string mode) seq prev
+            :: !out
+      | _ -> ());
+      Hashtbl.replace last (node, mode) seq)
+    (List.rev run.grant_log);
+  !out
+
 let explore ?config ?(max_states = 100_000) ~nodes ~actions () =
   let seen = Hashtbl.create 4096 in
   let violations = ref [] in
@@ -193,7 +218,9 @@ let explore ?config ?(max_states = 100_000) ~nodes ~actions () =
           if run.outstanding > 0 then
             violations :=
               Printf.sprintf "terminal state with %d unfinished clients" run.outstanding
-              :: !violations
+              :: !violations;
+          if List.length !violations < 5 then
+            List.iter (fun v -> violations := v :: !violations) (grant_order_violations run)
       | links -> List.iter (fun l -> Queue.push (l :: path) queue) links
     end
   done;

@@ -11,8 +11,12 @@
     - exactly one token exists (holders plus in-flight transfers).
 
     In every {e terminal} state (no messages left) it additionally asserts
-    liveness for the script: every request was granted, every upgrade
-    completed, and all clients released.
+    liveness for the script — every request was granted, every upgrade
+    completed, and all clients released — and grant-order fairness: a
+    node's own requests for the same mode are granted in issue order
+    (cross-node and cross-mode overtaking is legitimate under Rule 2
+    caching, so only the same-node same-mode discipline is FIFO-checkable
+    without false positives).
 
     Clients are modelled as release-on-grant: each scripted acquisition
     releases as soon as it is granted (after upgrading, for upgrade

@@ -261,6 +261,42 @@ let start t =
     t.threads <- Thread.create (fun () -> kick_loop t) () :: t.threads
   end
 
+(* Startup barrier: probe every peer's listen port until it accepts. A
+   successful connect is closed straight away — the peer's reader thread
+   just sees EOF — so this only proves the socket is bound, which is all
+   the first request storm needs (writer threads retry the real
+   connections themselves). *)
+let await_peers ?(timeout = 10.0) t =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let probe peer =
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close sock with _ -> ())
+      (fun () ->
+        match
+          Unix.connect sock
+            (Unix.ADDR_INET
+               (Unix.inet_addr_of_string peer.Cluster_config.host, peer.Cluster_config.port))
+        with
+        | () -> true
+        | exception _ -> false)
+  in
+  let rec wait_for pending =
+    let pending = List.filter (fun p -> not (probe p)) pending in
+    match pending with
+    | [] -> Ok ()
+    | _ when Unix.gettimeofday () >= deadline ->
+        Error
+          (Printf.sprintf "await_peers: %s unreachable after %.1fs"
+             (String.concat ", "
+                (List.map (fun p -> Printf.sprintf "node %d" p.Cluster_config.id) pending))
+             timeout)
+    | _ ->
+        Thread.delay 0.05;
+        wait_for pending
+  in
+  wait_for (List.filter (fun p -> p.Cluster_config.id <> t.self) t.config.Cluster_config.peers)
+
 let stop t =
   if t.running then begin
     t.running <- false;

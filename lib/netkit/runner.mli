@@ -18,6 +18,13 @@ val create : ?protocol:Dcs_hlock.Node.config -> config:Cluster_config.t -> self:
 (** Bind the listen port and start the service threads. *)
 val start : t -> unit
 
+(** Block until every peer's listen port accepts a TCP connection (the
+    probe connections are closed immediately; peers see them as empty
+    sessions). Call after {!start} and before issuing requests so the
+    first message storm never races peer startup. [Error] names the peers
+    still unreachable when [timeout] (seconds, default 10) expires. *)
+val await_peers : ?timeout:float -> t -> (unit, string) result
+
 (** Stop the threads and close every socket. Idempotent. *)
 val stop : t -> unit
 

@@ -11,7 +11,9 @@ type envelope = {
   payload : payload;
 }
 
-let version = 3  (* v2: request carries a priority; v3: naimi request carries a span seq *)
+let version = 4
+(* v2: request carries a priority; v3: naimi request carries a span seq;
+   v4: grant carries the granter's recorded child mode *)
 
 let mode w (m : Mode.t) = Buf.u8 w (Mode.index m)
 
@@ -69,10 +71,11 @@ let hlock_msg w (m : Msg.t) =
   | Msg.Request req ->
       Buf.u8 w 0;
       request w req
-  | Msg.Grant { req; epoch; ancestry } ->
+  | Msg.Grant { req; epoch; recorded; ancestry } ->
       Buf.u8 w 1;
       request w req;
       Buf.varint w epoch;
+      mode w recorded;
       Buf.list w (fun w n -> Buf.varint w n) ancestry
   | Msg.Token { serving; sender_owned; sender_epoch; queue; frozen } ->
       Buf.u8 w 2;
@@ -95,8 +98,9 @@ let read_hlock_msg r : Msg.t =
   | 1 ->
       let req = read_request r in
       let epoch = Buf.read_varint r in
+      let recorded = read_mode r in
       let ancestry = Buf.read_list r Buf.read_varint in
-      Msg.Grant { req; epoch; ancestry }
+      Msg.Grant { req; epoch; recorded; ancestry }
   | 2 ->
       let serving = read_request r in
       let sender_owned = read_mode_opt r in

@@ -1,0 +1,241 @@
+(* Fuzzer-infrastructure tests: the sequential reference oracle against
+   the paper's tables, the trace-conformance checker on hand-built event
+   traces, determinism of the fuzz driver, corpus round-trips, and the
+   end-to-end promise that a seeded protocol mutation is caught and
+   shrinks to a tiny repro. *)
+
+open Dcs_modes
+module Script = Dcs_check.Script
+module Oracle = Dcs_check.Oracle
+module Fuzz = Dcs_check.Fuzz
+module Corpus = Dcs_check.Corpus
+module Shrink = Dcs_check.Shrink
+module Event = Dcs_obs.Event
+module Seq = Oracle.Sequential
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let check_ids = Alcotest.check (Alcotest.list Alcotest.int)
+
+(* {1 Sequential reference oracle} *)
+
+let test_seq_readers_share () =
+  let t = Seq.create ~locks:1 in
+  check_ids "r1 granted" [ 1 ] (Seq.request t ~lock:0 ~id:1 ~mode:Mode.R ());
+  check_ids "r2 granted" [ 2 ] (Seq.request t ~lock:0 ~id:2 ~mode:Mode.R ());
+  check_ids "writer waits" [] (Seq.request t ~lock:0 ~id:3 ~mode:Mode.W ());
+  check_ids "first release frees nothing" [] (Seq.release t ~lock:0 ~id:1);
+  check_ids "last release grants writer" [ 3 ] (Seq.release t ~lock:0 ~id:2);
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Testkit.mode))
+    "writer holds W" [ (3, Mode.W) ] (Seq.granted t ~lock:0)
+
+let test_seq_fifo_and_priority () =
+  let t = Seq.create ~locks:1 in
+  ignore (Seq.request t ~lock:0 ~id:1 ~mode:Mode.W ());
+  check_ids "q2" [] (Seq.request t ~lock:0 ~id:2 ~mode:Mode.R ());
+  check_ids "q3" [] (Seq.request t ~lock:0 ~id:3 ~mode:Mode.W ~priority:5 ());
+  check_ids "waiting order by priority" [ 3; 2 ] (Seq.waiting t ~lock:0);
+  (* Priority 5 outranks the older reader; strict FIFO within rank. *)
+  check_ids "high-priority W first" [ 3 ] (Seq.release t ~lock:0 ~id:1);
+  check_ids "then the reader" [ 2 ] (Seq.release t ~lock:0 ~id:3)
+
+let test_seq_freeze_table () =
+  (* Table 2(b): a waiting W freezes the grantable modes incompatible with
+     it — the readers that could otherwise starve it. *)
+  let t = Seq.create ~locks:1 in
+  ignore (Seq.request t ~lock:0 ~id:1 ~mode:Mode.R ());
+  checkb "nothing frozen while compatible" true
+    (Mode_set.is_empty (Seq.frozen t ~lock:0));
+  ignore (Seq.request t ~lock:0 ~id:2 ~mode:Mode.W ());
+  let frozen = Seq.frozen t ~lock:0 in
+  checkb "waiting W freezes R" true (Mode_set.mem Mode.R frozen);
+  checkb "matches Compat.freeze_set" true
+    (Mode_set.equal frozen (Compat.freeze_set ~owned:(Some Mode.R) Mode.W));
+  ignore (Seq.release t ~lock:0 ~id:1);
+  checkb "thaw once served" true (Mode_set.is_empty (Seq.frozen t ~lock:0))
+
+let test_seq_upgrade_outranks () =
+  let t = Seq.create ~locks:1 in
+  check_ids "u granted" [ 1 ] (Seq.request t ~lock:0 ~id:1 ~mode:Mode.U ());
+  check_ids "reader shares with U" [ 2 ] (Seq.request t ~lock:0 ~id:2 ~mode:Mode.R ());
+  check_ids "upgrade waits for reader" [] (Seq.upgrade t ~lock:0 ~id:1);
+  (* Rule 7: the pending upgrade outranks every queued request. *)
+  check_ids "new reader blocked behind upgrade" []
+    (Seq.request t ~lock:0 ~id:3 ~mode:Mode.R ());
+  check_ids "release serves the upgrade first" [ 1 ] (Seq.release t ~lock:0 ~id:2);
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Testkit.mode))
+    "upgraded to W" [ (1, Mode.W) ] (Seq.granted t ~lock:0);
+  check_ids "then the reader" [ 3 ] (Seq.release t ~lock:0 ~id:1)
+
+(* {1 Trace conformance} *)
+
+let ev ?(node = 0) ?(req = 0) ?(seq = 0) time kind =
+  { Event.time; lock = 0; node; requester = req; seq; kind }
+
+let span ?(req = 0) ?(seq = 0) ?(t0 = 0.0) mode =
+  [
+    ev ~req ~seq t0 (Event.Requested { mode; priority = 0 });
+    ev ~req ~seq (t0 +. 1.0) (Event.Granted_local { mode; hops = 0 });
+    ev ~req ~seq (t0 +. 2.0) (Event.Released { mode });
+  ]
+
+let conformance ?max_overtakes ?require_complete events =
+  let events = List.sort (fun a b -> compare a.Event.time b.Event.time) events in
+  Oracle.conformance ?max_overtakes ?require_complete ~events ()
+
+let test_conf_clean_trace () =
+  let r = conformance (span ~req:1 Mode.R @ span ~req:2 ~t0:10.0 Mode.W) in
+  Alcotest.check (Alcotest.list Alcotest.string) "no violations" [] r.Oracle.violations;
+  checki "spans" 2 r.Oracle.spans;
+  checki "grants" 2 r.Oracle.grants;
+  checki "releases" 2 r.Oracle.releases
+
+let test_conf_incompatible_grants () =
+  (* Two W grants open at once: the hard safety violation. *)
+  let r =
+    conformance
+      [
+        ev ~req:1 0.0 (Event.Requested { mode = Mode.W; priority = 0 });
+        ev ~req:2 0.5 (Event.Requested { mode = Mode.W; priority = 0 });
+        ev ~req:1 1.0 (Event.Granted_local { mode = Mode.W; hops = 0 });
+        ev ~req:2 1.5 (Event.Granted_token { mode = Mode.W; hops = 1 });
+        ev ~req:1 2.0 (Event.Released { mode = Mode.W });
+        ev ~req:2 2.5 (Event.Released { mode = Mode.W });
+      ]
+  in
+  checkb "incompatible grants rejected" false (r.Oracle.violations = [])
+
+let test_conf_unrequested_grant () =
+  let r =
+    conformance
+      [
+        ev ~req:1 0.0 (Event.Granted_local { mode = Mode.R; hops = 0 });
+        ev ~req:1 1.0 (Event.Released { mode = Mode.R });
+      ]
+  in
+  checkb "grant without request rejected" false (r.Oracle.violations = [])
+
+let test_conf_upgrade_atomicity () =
+  (* An Upgraded firing while another span still holds a grant breaks
+     Rule 7's exclusivity. *)
+  let r =
+    conformance
+      [
+        ev ~req:1 0.0 (Event.Requested { mode = Mode.U; priority = 0 });
+        ev ~req:1 1.0 (Event.Granted_local { mode = Mode.U; hops = 0 });
+        ev ~req:2 2.0 (Event.Requested { mode = Mode.R; priority = 0 });
+        ev ~req:2 3.0 (Event.Granted_local { mode = Mode.R; hops = 0 });
+        ev ~req:1 4.0 (Event.Requested { mode = Mode.W; priority = 0 });
+        ev ~req:1 5.0 Event.Upgraded;
+        ev ~req:2 6.0 (Event.Released { mode = Mode.R });
+        ev ~req:1 7.0 (Event.Released { mode = Mode.W });
+      ]
+  in
+  checkb "non-exclusive upgrade rejected" false (r.Oracle.violations = [])
+
+let test_conf_liveness_toggle () =
+  let events = [ ev ~req:1 0.0 (Event.Requested { mode = Mode.R; priority = 0 }) ] in
+  let strict = conformance events in
+  checki "ungranted counted" 1 strict.Oracle.ungranted;
+  checkb "strict flags it" false (strict.Oracle.violations = []);
+  let lax = conformance ~require_complete:false events in
+  Alcotest.check (Alcotest.list Alcotest.string) "lax accepts prefix traces" []
+    lax.Oracle.violations
+
+(* {1 Fuzz driver} *)
+
+let test_script_deterministic () =
+  let a = Script.generate ~seed:17L ~nodes:8 ~locks:2 ~ops:40 in
+  let b = Script.generate ~seed:17L ~nodes:8 ~locks:2 ~ops:40 in
+  checkb "same seed, same script" true (a = b);
+  checkb "valid" true (Result.is_ok (Script.validate a));
+  let c = Script.generate ~seed:18L ~nodes:8 ~locks:2 ~ops:40 in
+  checkb "different seed, different script" false (a = c)
+
+let test_fuzz_deterministic () =
+  let case = Fuzz.case ~seed:11L ~nodes:8 ~locks:1 ~ops:40 () in
+  let v1 = Fuzz.run case and v2 = Fuzz.run case in
+  checkb "unmutated protocol passes" false (Fuzz.failed v1);
+  checkb "same digest" true (Int64.equal v1.Fuzz.digest v2.Fuzz.digest);
+  checkb "same verdict" true (v1.Fuzz.violations = v2.Fuzz.violations);
+  checki "same messages" v1.Fuzz.messages v2.Fuzz.messages
+
+let test_fuzz_with_faults () =
+  let case = Fuzz.case ~plan:"heal-partition" ~seed:11L ~nodes:8 ~locks:1 ~ops:40 () in
+  checkb "clean under fault plan" false (Fuzz.failed (Fuzz.run case))
+
+let mutation_case seed mutation =
+  Fuzz.case ~mutation ~seed ~nodes:4 ~locks:1 ~ops:(if mutation = Dcs_hlock.Node.Weak_freeze then 8 else 12) ()
+
+let test_mutation_weak_freeze_caught () =
+  let v = Fuzz.run (mutation_case 2L Dcs_hlock.Node.Weak_freeze) in
+  checkb "weak-freeze caught" true (Fuzz.failed v)
+
+let test_mutation_ignore_frozen_caught () =
+  let v = Fuzz.run (mutation_case 1L Dcs_hlock.Node.Ignore_frozen) in
+  checkb "ignore-frozen caught" true (Fuzz.failed v)
+
+let test_shrink_minimizes () =
+  let case = mutation_case 2L Dcs_hlock.Node.Weak_freeze in
+  let small = Shrink.shrink ~budget:300 case in
+  checkb "shrunk case still fails" true (Fuzz.failed (Fuzz.run small));
+  let n = List.length small.Fuzz.script.Script.ops in
+  checkb (Printf.sprintf "minimal repro has %d ops (<= 5)" n) true (n <= 5);
+  checkb "fault plan dropped" true (small.Fuzz.plan = None);
+  checki "collapsed to one lock" 1 small.Fuzz.script.Script.locks
+
+(* {1 Corpus round-trip} *)
+
+let test_corpus_roundtrip () =
+  let case = Fuzz.case ~plan:"lossy-dup" ~seed:7L ~nodes:6 ~locks:2 ~ops:12 () in
+  let entry = { Corpus.case; expect = Corpus.Pass } in
+  let s = Corpus.to_string entry in
+  (match Corpus.of_string s with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+      (* Serialization is the identity on its own output (op times are
+         already at the format's ms precision after one round-trip). *)
+      Alcotest.check Alcotest.string "fixpoint" s (Corpus.to_string back);
+      checkb "same shape" true
+        (back.Corpus.case.Fuzz.seed = case.Fuzz.seed
+        && back.Corpus.case.Fuzz.plan = case.Fuzz.plan
+        && List.length back.Corpus.case.Fuzz.script.Script.ops
+           = List.length case.Fuzz.script.Script.ops));
+  (match Corpus.of_string "dcs-fuzz/9\nexpect pass\nseed 1\nnodes 2\nlocks 1\n" with
+  | Ok _ -> Alcotest.fail "unknown corpus version accepted"
+  | Error e -> checkb "version named in error" true (String.length e > 0));
+  match Corpus.of_string (s ^ "op garbage\n") with
+  | Ok _ -> Alcotest.fail "malformed op line accepted"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "dcs_check"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "readers share, writer excluded" `Quick test_seq_readers_share;
+          Alcotest.test_case "FIFO with priorities" `Quick test_seq_fifo_and_priority;
+          Alcotest.test_case "freeze table" `Quick test_seq_freeze_table;
+          Alcotest.test_case "upgrade outranks" `Quick test_seq_upgrade_outranks;
+        ] );
+      ( "conformance",
+        [
+          Alcotest.test_case "clean trace" `Quick test_conf_clean_trace;
+          Alcotest.test_case "incompatible grants" `Quick test_conf_incompatible_grants;
+          Alcotest.test_case "unrequested grant" `Quick test_conf_unrequested_grant;
+          Alcotest.test_case "upgrade atomicity" `Quick test_conf_upgrade_atomicity;
+          Alcotest.test_case "liveness toggle" `Quick test_conf_liveness_toggle;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "script deterministic" `Quick test_script_deterministic;
+          Alcotest.test_case "run deterministic" `Quick test_fuzz_deterministic;
+          Alcotest.test_case "clean under faults" `Quick test_fuzz_with_faults;
+          Alcotest.test_case "weak-freeze caught" `Quick test_mutation_weak_freeze_caught;
+          Alcotest.test_case "ignore-frozen caught" `Quick test_mutation_ignore_frozen_caught;
+          Alcotest.test_case "shrink minimizes" `Slow test_shrink_minimizes;
+        ] );
+      ("corpus", [ Alcotest.test_case "roundtrip" `Quick test_corpus_roundtrip ]);
+    ]

@@ -643,7 +643,7 @@ let test_msg_classes () =
     (Msg.class_of (Msg.Request r));
   Alcotest.check (Alcotest.testable Dcs_proto.Msg_class.pp Dcs_proto.Msg_class.equal)
     "grant" Dcs_proto.Msg_class.Copy_grant
-    (Msg.class_of (Msg.Grant { req = r; epoch = 1; ancestry = [] }))
+    (Msg.class_of (Msg.Grant { req = r; epoch = 1; recorded = Mode.R; ancestry = [] }))
 
 let test_merge_queues_orders_by_timestamp () =
   let mk ts id = { Msg.requester = id; seq = 0; mode = Mode.R; upgrade = false; timestamp = ts; priority = 0;

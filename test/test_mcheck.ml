@@ -73,6 +73,44 @@ let test_u_and_w () =
     ~actions:[ M.Acquire { node = 1; mode = Mode.U }; M.Acquire { node = 2; mode = Mode.W } ]
     ()
 
+let test_w_freeze () =
+  (* Rule 6 / Table 2(b): a W request must freeze R everywhere before it is
+     served; the trailing R exercises both the freeze propagation and the
+     un-freeze on release in every interleaving. *)
+  run_scenario ~name:"W freeze vs readers" ~nodes:4
+    ~actions:
+      [
+        M.Acquire { node = 1; mode = Mode.R };
+        M.Acquire { node = 2; mode = Mode.W };
+        M.Acquire { node = 3; mode = Mode.R };
+      ]
+    ()
+
+let test_release_suppression () =
+  (* Rule 5.2: n1's IR release is subsumed by its retained R (owned mode
+     unchanged, no weakening report due); the W from n2 then depends on the
+     eventual R release being reported despite the earlier suppression. *)
+  run_scenario ~name:"release suppression" ~nodes:3
+    ~actions:
+      [
+        M.Acquire { node = 1; mode = Mode.R };
+        M.Acquire { node = 1; mode = Mode.IR };
+        M.Acquire { node = 2; mode = Mode.W };
+      ]
+    ()
+
+let test_same_node_fifo () =
+  (* Two identical local requests must be granted in issue order in every
+     interleaving (the terminal-state grant-order check). *)
+  run_scenario ~name:"same-node FIFO" ~nodes:3
+    ~actions:
+      [
+        M.Acquire { node = 1; mode = Mode.R };
+        M.Acquire { node = 1; mode = Mode.R };
+        M.Acquire { node = 2; mode = Mode.W };
+      ]
+    ()
+
 let run_bounded ?config ~name ~nodes ~actions ~max_states () =
   let r = M.explore ?config ~nodes ~actions ~max_states () in
   Alcotest.check (Alcotest.list Alcotest.string) (name ^ ": no violations") [] r.M.violations;
@@ -112,6 +150,9 @@ let () =
           Alcotest.test_case "two upgrades" `Slow test_two_upgrades;
           Alcotest.test_case "no caching" `Slow test_no_caching_config;
           Alcotest.test_case "U vs W" `Slow test_u_and_w;
+          Alcotest.test_case "W freeze vs readers" `Slow test_w_freeze;
+          Alcotest.test_case "release suppression" `Slow test_release_suppression;
+          Alcotest.test_case "same-node FIFO" `Slow test_same_node_fifo;
           Alcotest.test_case "three writers (bounded)" `Slow test_three_writers_deep;
           Alcotest.test_case "mixed deep (bounded)" `Slow test_mixed_deep;
         ] );

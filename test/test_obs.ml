@@ -184,6 +184,72 @@ let test_jsonl_rejects_garbage () =
   checkb "unknown kind" true (Result.is_error (Jsonl.parse_line "{\"k\":\"nope\"}"));
   checkb "trailing junk" true (Result.is_error (Jsonl.parse_line "{\"k\":\"meta\"} extra"))
 
+(* Robustness: every corrupt file shape must come back as [Error _] from
+   [read_file] — never an exception — with the offending line number. *)
+let with_file lines f =
+  let path = Filename.temp_file "dcs_obs_robust" ".jsonl" in
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc l; output_char oc '\n') lines;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let meta_line = Printf.sprintf "{\"k\":\"meta\",\"schema\":\"%s\",\"nodes\":\"2\"}" Jsonl.schema
+let ev_line =
+  "{\"k\":\"ev\",\"t\":1.5,\"lock\":0,\"node\":1,\"req\":1,\"seq\":0,\"ev\":\"queued\",\
+   \"mode\":\"\",\"arg\":0,\"set\":\"\"}"
+
+let read_error lines =
+  with_file lines (fun path ->
+      match Jsonl.read_file path with
+      | Ok _ -> Alcotest.fail "expected Error"
+      | Error msg -> msg
+      | exception e -> Alcotest.failf "raised %s instead of Error" (Printexc.to_string e))
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_jsonl_robust_malformed_line () =
+  let msg = read_error [ meta_line; ev_line; "{\"k\":\"ev\",\"t\":oops}" ] in
+  checkb "names line 3" true (contains msg "line 3")
+
+let test_jsonl_robust_unknown_schema () =
+  let msg = read_error [ "{\"k\":\"meta\",\"schema\":\"dcs-obs/2\"}"; ev_line ] in
+  checkb "mentions schema" true (contains msg "schema mismatch");
+  let msg = read_error [ "{\"k\":\"meta\",\"nodes\":\"2\"}" ] in
+  checkb "missing schema rejected" true (contains msg "schema mismatch")
+
+let test_jsonl_robust_partial_trailing () =
+  (* A crash mid-write leaves a truncated last record. *)
+  let partial = String.sub ev_line 0 (String.length ev_line / 2) in
+  let msg = read_error [ meta_line; ev_line; partial ] in
+  checkb "names line 3" true (contains msg "line 3")
+
+let test_jsonl_robust_field_errors () =
+  (* Structurally valid JSON, semantically broken records. *)
+  List.iter
+    (fun broken ->
+      let msg = read_error [ meta_line; broken ] in
+      checkb ("line 2 error for " ^ broken) true (contains msg "line 2"))
+    [
+      "{\"k\":\"ev\",\"t\":1.0}" (* missing fields *);
+      "{\"k\":\"ev\",\"t\":1.0,\"lock\":0,\"node\":1,\"req\":1,\"seq\":0,\"ev\":\"warped\",\
+       \"mode\":\"\",\"arg\":0,\"set\":\"\"}" (* unknown event kind *);
+      "{\"k\":\"ev\",\"t\":1.0,\"lock\":0,\"node\":1,\"req\":1,\"seq\":0,\"ev\":\"released\",\
+       \"mode\":\"Q\",\"arg\":0,\"set\":\"\"}" (* unknown mode *);
+      "{\"k\":\"msgs\",\"cls\":\"carrier-pigeon\",\"count\":1,\"bytes\":2}" (* unknown class *);
+      "{\"k\":\"gauge\",\"t\":1.0,\"name\":\"q\",\"value\":\"high\"}" (* wrong type *);
+    ]
+
+let test_jsonl_robust_not_meta_first () =
+  let msg = read_error [ ev_line ] in
+  checkb "wants meta first" true (contains msg "meta");
+  match Jsonl.read_file "/nonexistent/dcs-obs-test.jsonl" with
+  | Ok _ -> Alcotest.fail "expected Error for missing file"
+  | Error _ -> ()
+  | exception e -> Alcotest.failf "raised %s for missing file" (Printexc.to_string e)
+
 (* {1 End-to-end: recorder counts match the transport Counters} *)
 
 let test_traced_run_crosschecks () =
@@ -238,6 +304,11 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick test_jsonl_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_jsonl_rejects_garbage;
+          Alcotest.test_case "malformed line" `Quick test_jsonl_robust_malformed_line;
+          Alcotest.test_case "unknown schema" `Quick test_jsonl_robust_unknown_schema;
+          Alcotest.test_case "partial trailing record" `Quick test_jsonl_robust_partial_trailing;
+          Alcotest.test_case "field errors" `Quick test_jsonl_robust_field_errors;
+          Alcotest.test_case "meta first + missing file" `Quick test_jsonl_robust_not_meta_first;
         ] );
       ( "end-to-end",
         [ Alcotest.test_case "recorder vs counters" `Quick test_traced_run_crosschecks ] );

@@ -45,8 +45,9 @@ let gen_hlock_msg =
         map (fun r -> Msg.Request r) gen_request;
         (let* req = gen_request in
          let* epoch = int_bound 100_000 in
+         let* recorded = Testkit.gen_mode in
          let* ancestry = list_size (int_bound 10) (int_bound 200) in
-         return (Msg.Grant { req; epoch; ancestry }));
+         return (Msg.Grant { req; epoch; recorded; ancestry }));
         (let* serving = gen_request in
          let* sender_owned = Testkit.gen_mode_opt in
          let* sender_epoch = int_bound 100_000 in
@@ -90,6 +91,70 @@ let prop_truncation_rejected =
         | _ -> false
         | exception Buf.Malformed _ -> true)
 
+(* Stronger than dropping one byte: every proper prefix must be rejected,
+   whatever field boundary the cut lands on. *)
+let prop_every_prefix_rejected =
+  Q.Test.make ~name:"every proper prefix raises Malformed" ~count:200 gen_envelope (fun env ->
+      let s = Codec.encode env in
+      let ok = ref true in
+      for len = 0 to String.length s - 1 do
+        (match Codec.decode (String.sub s 0 len) with
+        | _ -> ok := false
+        | exception Buf.Malformed _ -> ())
+      done;
+      !ok)
+
+(* Per-class roundtrips: the mixed generator above could in principle
+   drift toward some classes; these pin every wire shape individually. *)
+let hlock_envelope m = { Codec.src = 1; lock = 0; payload = Codec.Hlock m }
+
+let per_class_roundtrip name gen =
+  Q.Test.make ~name:(name ^ " roundtrip") ~count:500
+    Q.Gen.(map hlock_envelope gen)
+    (fun env -> Codec.decode (Codec.encode env) = env)
+
+let prop_request_roundtrip =
+  per_class_roundtrip "request" Q.Gen.(map (fun r -> Msg.Request r) gen_request)
+
+let prop_grant_roundtrip =
+  per_class_roundtrip "grant"
+    Q.Gen.(
+      let* req = gen_request in
+      let* epoch = int_bound 100_000 in
+      let* recorded = Testkit.gen_mode in
+      let* ancestry = list_size (int_bound 10) (int_bound 200) in
+      return (Msg.Grant { req; epoch; recorded; ancestry }))
+
+let prop_token_roundtrip =
+  per_class_roundtrip "token"
+    Q.Gen.(
+      let* serving = gen_request in
+      let* sender_owned = Testkit.gen_mode_opt in
+      let* sender_epoch = int_bound 100_000 in
+      let* queue = list_size (int_bound 8) gen_request in
+      let* frozen = gen_mode_set in
+      return (Msg.Token { serving; sender_owned; sender_epoch; queue; frozen }))
+
+let prop_release_roundtrip =
+  per_class_roundtrip "release"
+    Q.Gen.(
+      let* new_owned = Testkit.gen_mode_opt in
+      let* epoch = int_bound 100_000 in
+      return (Msg.Release { new_owned; epoch }))
+
+let prop_freeze_roundtrip =
+  per_class_roundtrip "freeze" Q.Gen.(map (fun frozen -> Msg.Freeze { frozen }) gen_mode_set)
+
+let test_naimi_roundtrip () =
+  List.iter
+    (fun payload ->
+      let env = { Codec.src = 9; lock = 4; payload } in
+      checkb "naimi roundtrip" true (Codec.decode (Codec.encode env) = env))
+    [
+      Codec.Naimi (Dcs_naimi.Naimi.Request { requester = 3; seq = 17 });
+      Codec.Naimi Dcs_naimi.Naimi.Token;
+    ]
+
 let prop_trailing_rejected =
   Q.Test.make ~name:"trailing bytes raise Malformed" ~count:500 gen_envelope (fun env ->
       let s = Codec.encode env ^ "\x00" in
@@ -98,10 +163,22 @@ let prop_trailing_rejected =
       | exception Buf.Malformed _ -> true)
 
 let test_version_rejected () =
-  let s = Codec.encode { Codec.src = 0; lock = 0; payload = Codec.Naimi Dcs_naimi.Naimi.Token } in
-  let bad = "\xff" ^ String.sub s 1 (String.length s - 1) in
-  checkb "bad version" true
-    (match Codec.decode bad with _ -> false | exception Buf.Malformed _ -> true)
+  (* Exhaustive version sweep: only the current version byte decodes;
+     every other value 0-255 (including all prior versions, whose request
+     layout differs) must raise. *)
+  let env = { Codec.src = 0; lock = 0; payload = Codec.Naimi Dcs_naimi.Naimi.Token } in
+  let s = Codec.encode env in
+  let rest = String.sub s 1 (String.length s - 1) in
+  let current = Char.code s.[0] in
+  for v = 0 to 255 do
+    let doctored = String.make 1 (Char.chr v) ^ rest in
+    if v = current then checkb "current version decodes" true (Codec.decode doctored = env)
+    else
+      checkb
+        (Printf.sprintf "version %d rejected" v)
+        true
+        (match Codec.decode doctored with _ -> false | exception Buf.Malformed _ -> true)
+  done
 
 let prop_varint_roundtrip =
   Q.Test.make ~name:"varint roundtrip" ~count:1000
@@ -176,9 +253,16 @@ let () =
       ( "codec",
         [
           qt prop_roundtrip;
+          qt prop_request_roundtrip;
+          qt prop_grant_roundtrip;
+          qt prop_token_roundtrip;
+          qt prop_release_roundtrip;
+          qt prop_freeze_roundtrip;
+          Alcotest.test_case "naimi roundtrip" `Quick test_naimi_roundtrip;
           qt prop_truncation_rejected;
+          qt prop_every_prefix_rejected;
           qt prop_trailing_rejected;
-          Alcotest.test_case "version rejected" `Quick test_version_rejected;
+          Alcotest.test_case "version sweep" `Quick test_version_rejected;
           Alcotest.test_case "frame via pipe" `Quick test_frame_roundtrip;
         ] );
       ( "buf",
