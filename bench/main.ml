@@ -11,9 +11,10 @@
    Run with:  dune exec bench/main.exe *)
 
 let run_microbenches () =
-  Printf.printf "Microbenchmarks (monotonic clock):\n";
+  Printf.printf "Microbenchmarks (monotonic clock / minor heap):\n";
   List.iter
-    (fun (name, est) -> Printf.printf "  %-32s %14.1f ns/run\n" name est)
+    (fun { Suite.name; ns; minor_words } ->
+      Printf.printf "  %-36s %14.1f ns/run %10.1f w/run\n" name ns minor_words)
     (Suite.run ());
   print_newline ()
 

@@ -1,9 +1,13 @@
 (* Machine-readable performance report.
 
      dune exec bench/report.exe -- [-o FILE] [--before FILE] [--label S]
-                                   [--quota S] [--smoke]
+                                   [--quota S] [--smoke] [--baseline FILE]
+                                   [--gate-tolerance R] [--no-gate]
+                                   [--gate-drift-correction]
 
-   Measures the shared microbenchmark suite (suite.ml, ns/run) and the
+   Measures the shared microbenchmark suite (suite.ml: ns/run and
+   minor-heap words/run), aggregate simulated-cluster throughput
+   (requests per wall-clock second at several node counts) and the
    figure-sweep wall clocks (quick node list, sequential and parallel),
    checks that the parallel sweep reproduces the sequential one exactly,
    and writes everything as one JSON object. With [--before FILE] the
@@ -12,7 +16,18 @@
    side-by-side comparison — BENCH_baseline.json at the repo root is
    exactly such a report. [--smoke] shrinks the run to a seconds-long CI
    check (tiny quota, one 16-node sweep row fanned over 2 domains) and
-   is what the @bench-smoke alias runs. *)
+   is what the @bench-smoke alias runs.
+
+   [--baseline FILE] is the perf regression gate: after writing the
+   report, compare each microbench against FILE's microbench_ns_per_run
+   section and exit 1 if any grew more than --gate-tolerance (default
+   0.15 = +15%). [--gate-drift-correction] divides every ratio by the
+   suite-wide median ratio first, cancelling uniform machine drift on a
+   noisy shared host (the @bench-smoke alias uses it — this container
+   drifts +/-25% run-to-run). Escape hatches when a regression is
+   understood and accepted: pass --no-gate, or set BENCH_NO_GATE=1 (for
+   one-off runs of the @bench-smoke alias, whose command line is
+   fixed). *)
 
 let now () = Unix.gettimeofday ()
 
@@ -78,12 +93,23 @@ let parallel_matches ~jobs ~nodes () =
   let par = Dcs_runtime.Figures.fig5 ~nodes ~jobs () |> fst in
   seq = par
 
+let read_file file =
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  contents
+
 let () =
   let out = ref None
   and before = ref None
   and label = ref "current"
   and quota = ref 0.25
-  and smoke = ref false in
+  and smoke = ref false
+  and baseline = ref None
+  and gate_tolerance = ref 0.15
+  and gate_drift = ref false
+  and no_gate = ref false in
   let rec parse = function
     | [] -> ()
     | "-o" :: f :: rest -> out := Some f; parse rest
@@ -91,15 +117,30 @@ let () =
     | "--label" :: s :: rest -> label := s; parse rest
     | "--quota" :: s :: rest -> quota := float_of_string s; parse rest
     | "--smoke" :: rest -> smoke := true; parse rest
+    | "--baseline" :: f :: rest -> baseline := Some f; parse rest
+    | "--gate-tolerance" :: s :: rest -> gate_tolerance := float_of_string s; parse rest
+    | "--gate-drift-correction" :: rest -> gate_drift := true; parse rest
+    | "--no-gate" :: rest -> no_gate := true; parse rest
     | a :: _ -> Printf.eprintf "unknown argument %S\n" a; exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   let smoke = !smoke || Sys.getenv_opt "BENCH_QUICK" <> None in
+  let no_gate = !no_gate || Sys.getenv_opt "BENCH_NO_GATE" <> None in
   let cores = Domain.recommended_domain_count () in
   let jobs = if smoke then 2 else max 2 cores in
   let nodes = if smoke then [ 16 ] else Dcs_runtime.Figures.quick_nodes in
-  let quota = if smoke then min !quota 0.05 else !quota in
+  (* Smoke caps the quota rather than zeroing it: at 0.05s the OLS fit on
+     sub-microsecond benches swings tens of percent run-to-run, which is
+     exactly the noise a regression gate must not trip on. *)
+  let quota = if smoke then min !quota 0.2 else !quota in
   let micro = Suite.run ~quota () in
+  let throughput_nodes = [ 8; 16; 32; 64 ] in
+  let throughput_rounds = if smoke then 20 else 200 in
+  let throughput =
+    List.map
+      (fun n -> (Printf.sprintf "nodes%d_req_per_s" n, Suite.throughput ~nodes:n ~rounds:throughput_rounds ()))
+      throughput_nodes
+  in
   let sweeps = sweep_timings ~jobs ~nodes () in
   let matches = parallel_matches ~jobs ~nodes () in
   let b = Buffer.create 4096 in
@@ -112,7 +153,10 @@ let () =
   add_kv b ~last:false "sweep_nodes" ("[" ^ String.concat ", " (List.map string_of_int nodes) ^ "]");
   add_kv b ~last:false "parallel_matches_sequential" (string_of_bool matches);
   add_kv b ~last:false "microbench_ns_per_run"
-    (obj_of_assoc ~render:fl (List.map (fun (k, v) -> (k, v)) micro));
+    (obj_of_assoc ~render:fl (List.map (fun r -> (r.Suite.name, r.Suite.ns)) micro));
+  add_kv b ~last:false "microbench_minor_words_per_run"
+    (obj_of_assoc ~render:fl (List.map (fun r -> (r.Suite.name, r.Suite.minor_words)) micro));
+  add_kv b ~last:false "aggregate_requests_per_sec" (obj_of_assoc ~render:fl throughput);
   let sweep_kvs =
     List.concat_map
       (fun s -> [ (s.name ^ "_jobs1_s", s.seq_s); (Printf.sprintf "%s_jobs%d_s" s.name jobs, s.par_s) ])
@@ -122,12 +166,7 @@ let () =
   add_kv b ~last "sweep_wall_clock_s" (obj_of_assoc ~render:fl sweep_kvs);
   (match !before with
   | None -> ()
-  | Some file ->
-      let ic = open_in_bin file in
-      let len = in_channel_length ic in
-      let contents = really_input_string ic len in
-      close_in ic;
-      add_kv b ~last:true "before" (String.trim contents));
+  | Some file -> add_kv b ~last:true "before" (String.trim (read_file file)));
   Buffer.add_string b "}\n";
   let json = Buffer.contents b in
   (match !out with
@@ -140,4 +179,24 @@ let () =
   if not matches then begin
     Printf.eprintf "FAIL: parallel sweep diverged from sequential\n";
     exit 1
-  end
+  end;
+  match !baseline with
+  | None -> ()
+  | Some _ when no_gate -> Printf.eprintf "perf gate: skipped (--no-gate / BENCH_NO_GATE)\n"
+  | Some file -> (
+      let before_micro = Gate.microbench_of_json (read_file file) in
+      let after_micro = List.map (fun r -> (r.Suite.name, r.Suite.ns)) micro in
+      let corrected = if !gate_drift then " (drift-corrected)" else "" in
+      match
+        Gate.regressions ~drift_correction:!gate_drift ~tolerance:!gate_tolerance
+          ~before:before_micro ~after:after_micro ()
+      with
+      | [] ->
+          Printf.eprintf "perf gate: ok (%d benches within %+.0f%%%s of %s)\n"
+            (List.length after_micro) (!gate_tolerance *. 100.0) corrected file
+      | regs ->
+          Printf.eprintf "FAIL: %d microbench(es) regressed more than %.0f%%%s vs %s:\n"
+            (List.length regs) (!gate_tolerance *. 100.0) corrected file;
+          List.iter (fun v -> Format.eprintf "  %a@." Gate.pp_verdict v) regs;
+          Printf.eprintf "(rerun with --no-gate or BENCH_NO_GATE=1 to accept)\n";
+          exit 1)

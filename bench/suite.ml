@@ -154,6 +154,109 @@ let bench_naimi_roundtrip =
           done;
           ignore (Dcs_sim.Engine.run engine)))
 
+(* {1 Wire path}
+
+   The zero-allocation claims the transport relies on, measured: with a
+   reused writer, encoding allocates nothing; with a reused reader,
+   skimming (full validation, no materialization) allocates nothing;
+   materialized decode allocates only the decoded message. The request
+   and token shapes bracket the format: token is the fattest message
+   (embedded queue), request is the common case. *)
+
+let sample_request : Dcs_hlock.Msg.request =
+  {
+    requester = 3;
+    seq = 12345;
+    mode = Dcs_modes.Mode.W;
+    upgrade = false;
+    timestamp = 987654;
+    priority = 2;
+    hops = 3;
+    token_only = false;
+    hint = (5, 2);
+    path = [ 3; 5; 7 ];
+  }
+
+let request_env =
+  { Dcs_wire.Codec.src = 3; lock = 1; payload = Dcs_wire.Codec.Hlock (Request sample_request) }
+
+let token_env =
+  {
+    Dcs_wire.Codec.src = 0;
+    lock = 1;
+    payload =
+      Dcs_wire.Codec.Hlock
+        (Token
+           {
+             serving = sample_request;
+             sender_owned = Some Dcs_modes.Mode.R;
+             sender_epoch = 7;
+             queue = [ sample_request; { sample_request with seq = 12346; requester = 5 } ];
+             frozen = Dcs_modes.Mode_set.of_list [ Dcs_modes.Mode.R; Dcs_modes.Mode.W ];
+           });
+  }
+
+let bench_wire_encode name env =
+  let w = Dcs_wire.Buf.writer ~capacity:256 () in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         Dcs_wire.Buf.reset w;
+         Dcs_wire.Codec.write_envelope w env))
+
+let bench_wire_encode_request = bench_wire_encode "wire encode request (reused writer)" request_env
+let bench_wire_encode_token = bench_wire_encode "wire encode token (reused writer)" token_env
+
+let bench_wire_skim =
+  let data = Bytes.of_string (Dcs_wire.Codec.encode token_env) in
+  let len = Bytes.length data in
+  let r = Dcs_wire.Buf.reader "" in
+  Test.make ~name:"wire skim token (reused reader)"
+    (Staged.stage (fun () ->
+         Dcs_wire.Buf.attach r data ~off:0 ~len;
+         Dcs_wire.Codec.skim_envelope r))
+
+let bench_wire_decode =
+  let data = Bytes.of_string (Dcs_wire.Codec.encode token_env) in
+  let len = Bytes.length data in
+  Test.make ~name:"wire decode token (materialized)"
+    (Staged.stage (fun () -> ignore (Dcs_wire.Codec.decode_sub data ~off:0 ~len)))
+
+(* The batched transport's inner loop without the sockets: frame 16
+   envelopes back-to-back into one reused buffer (length prefix patched
+   in place, as the runner's writer does), then walk the batch skimming
+   each frame (as a validating reader would). *)
+let bench_wire_framed_batch =
+  let w = Dcs_wire.Buf.writer ~capacity:4096 () in
+  let r = Dcs_wire.Buf.reader "" in
+  Test.make ~name:"wire framed batch x16 roundtrip"
+    (Staged.stage (fun () ->
+         let open Dcs_wire in
+         Buf.reset w;
+         for _ = 1 to 8 do
+           let at = Buf.length w in
+           Buf.u32_be w 0;
+           Codec.write_envelope w request_env;
+           Buf.patch_u32_be w ~at (Buf.length w - at - 4);
+           let at = Buf.length w in
+           Buf.u32_be w 0;
+           Codec.write_envelope w token_env;
+           Buf.patch_u32_be w ~at (Buf.length w - at - 4)
+         done;
+         let data = Buf.unsafe_bytes w in
+         let total = Buf.length w in
+         let off = ref 0 in
+         while !off < total do
+           let len =
+             (Char.code (Bytes.get data !off) lsl 24)
+             lor (Char.code (Bytes.get data (!off + 1)) lsl 16)
+             lor (Char.code (Bytes.get data (!off + 2)) lsl 8)
+             lor Char.code (Bytes.get data (!off + 3))
+           in
+           Buf.attach r data ~off:(!off + 4) ~len;
+           Codec.skim_envelope r;
+           off := !off + 4 + len
+         done))
+
 (* 100 messages through the reliable-delivery shim over a clean 1 ms
    link: the per-message cost of the seq/ack/dedup machinery alone. *)
 let bench_reliable_shim =
@@ -186,22 +289,85 @@ let all =
     bench_pqueue;
     bench_hlock_roundtrip;
     bench_naimi_roundtrip;
+    bench_wire_encode_request;
+    bench_wire_encode_token;
+    bench_wire_skim;
+    bench_wire_decode;
+    bench_wire_framed_batch;
     bench_reliable_shim;
   ]
 
+type result = { name : string; ns : float; minor_words : float }
+
 (* Run the whole suite; [quota] is the per-test measurement budget in
-   seconds. Returns (name, ns/run) sorted by name. *)
+   seconds. Returns per-run time and minor-heap allocation (words; the
+   zero-allocation wire-path claims are checked against the latter),
+   sorted by name. *)
 let run ?(quota = 0.25) () =
   let tests = Test.make_grouped ~name:"dcs" all in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~kde:(Some 10) () in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock; minor_allocated ] tests in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let estimate results name =
+    match Hashtbl.find_opt results name with
+    | Some result -> (
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Some est
+        | _ -> None)
+    | None -> None
+  in
+  let times = Analyze.all ols Instance.monotonic_clock raw in
+  let allocs = Analyze.all ols Instance.minor_allocated raw in
   let out = ref [] in
   Hashtbl.iter
-    (fun name result ->
-      match Analyze.OLS.estimates result with
-      | Some [ est ] -> out := (name, est) :: !out
-      | _ -> ())
-    results;
-  List.sort (fun (a, _) (b, _) -> String.compare a b) !out
+    (fun name _ ->
+      match (estimate times name, estimate allocs name) with
+      | Some ns, Some minor_words -> out := { name; ns; minor_words } :: !out
+      | Some ns, None -> out := { name; ns; minor_words = 0.0 } :: !out
+      | None, _ -> ())
+    times;
+  List.sort (fun a b -> String.compare a.name b.name) !out
+
+(* {1 Aggregate throughput}
+
+   End-to-end requests per second of wall-clock time on an [nodes]-node
+   simulated cluster (constant 1 ms links): every non-token node chains
+   [rounds] request→release cycles on a shared lock, so the figure folds
+   in the protocol engines, the simulated network and the event loop —
+   the implementation's capacity to push lock traffic, not the simulated
+   latency. Every fourth node writes, so the load mixes cache-friendly
+   reads with conflicting writes that keep revocation traffic flowing. *)
+let throughput ~nodes ~rounds () =
+  let engine = Dcs_sim.Engine.create () in
+  let rng = Dcs_sim.Rng.create ~seed:42L in
+  let net = Dcs_runtime.Net.create ~engine ~latency:(Dcs_sim.Dist.Constant 1.0) ~rng () in
+  let cluster = Dcs_runtime.Hlock_cluster.create ~net ~nodes ~locks:1 () in
+  let completed = ref 0 in
+  for node = 1 to nodes - 1 do
+    let mode = if node mod 4 = 0 then Dcs_modes.Mode.W else Dcs_modes.Mode.R in
+    let remaining = ref rounds in
+    (* Cached re-acquisition grants synchronously, inside [request],
+       before the ticket is known — detect that and finish after. *)
+    let rec go () =
+      let seq = ref (-1) in
+      let sync = ref false in
+      let s =
+        Dcs_runtime.Hlock_cluster.request cluster ~node ~lock:0 ~mode
+          ~on_granted:(fun () -> if !seq >= 0 then finish !seq else sync := true)
+      in
+      seq := s;
+      if !sync then finish s
+    and finish s =
+      incr completed;
+      Dcs_runtime.Hlock_cluster.release cluster ~node ~lock:0 ~seq:s;
+      decr remaining;
+      if !remaining > 0 then go ()
+    in
+    go ()
+  done;
+  let t0 = Unix.gettimeofday () in
+  ignore (Dcs_sim.Engine.run engine);
+  let dt = Unix.gettimeofday () -. t0 in
+  let requests = !completed in
+  assert (requests = (nodes - 1) * rounds);
+  float_of_int requests /. dt

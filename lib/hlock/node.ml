@@ -77,6 +77,12 @@ type t = {
   mutable next_seq : int;
   mutable clock : int;  (* Lamport *)
   mutable epoch_counter : int;
+  (* Send batching ({!with_send_batch}): while [batch_depth > 0] emissions
+     are buffered (newest first) instead of sent, and flushed — after
+     coalescing superseded Release/Freeze messages — when the outermost
+     scope exits. Zero-cost when no scope is active. *)
+  mutable batch_depth : int;
+  mutable batched : (Node_id.t * Msg.t) list;
 }
 
 let create ?(config = default_config) ?obs ~id ~peers ~is_token ~parent ~send ~on_granted ~on_upgraded () =
@@ -119,6 +125,8 @@ let create ?(config = default_config) ?obs ~id ~peers ~is_token ~parent ~send ~o
     next_seq = 0;
     clock = 0;
     epoch_counter = 0;
+    batch_depth = 0;
+    batched = [];
   }
 
 (* {1 Views} *)
@@ -262,7 +270,71 @@ let pp_state ppf t =
 
 (* {1 Emission helpers} *)
 
-let emit t dst msg = t.send ~dst msg
+let emit t dst msg =
+  if t.batch_depth > 0 then t.batched <- (dst, msg) :: t.batched
+  else t.send ~dst msg
+
+(* Wire messages saved by batch coalescing (diagnostic, like [diversions]). *)
+let coalesced = ref 0
+
+(* Flush a batch, dropping messages that a later message to the same
+   destination provably supersedes. Only per-destination-adjacent pairs
+   are considered (links are FIFO per pair; nothing may be reordered
+   relative to other traffic on the same link):
+
+   - Freeze after Freeze: frozen sets sent to a child are cumulative
+     ([refresh_freezes] unions with everything previously sent, and any
+     event that resets the relationship — a grant, a transfer — puts a
+     Grant/Token between the two freezes), so the later set contains the
+     earlier one and Table 1 decisions at the child are unchanged.
+   - Release after Release at the same epoch: the child record ends in
+     the same state either way — a [None] is terminal for its epoch
+     (the sender detaches and cannot report under it again), so the
+     collapsed pair never resurrects a removed record.
+
+   Requests, grants and tokens are never dropped or reordered. *)
+let flush_batch t =
+  match t.batched with
+  | [] -> ()
+  | [ (dst, m) ] ->
+      t.batched <- [];
+      t.send ~dst m
+  | batched ->
+      t.batched <- [];
+      let msgs = Array.of_list (List.rev batched) in
+      let n = Array.length msgs in
+      let drop = Array.make n false in
+      let last_for_dst = Hashtbl.create 8 in
+      for i = 0 to n - 1 do
+        let dst, m = msgs.(i) in
+        (match Hashtbl.find_opt last_for_dst dst with
+        | Some j -> (
+            match snd msgs.(j), m with
+            | Msg.Freeze _, Msg.Freeze _ ->
+                drop.(j) <- true;
+                incr coalesced
+            | Msg.Release { epoch = e1; _ }, Msg.Release { epoch = e2; _ } when e1 = e2 ->
+                drop.(j) <- true;
+                incr coalesced
+            | _ -> ())
+        | None -> ());
+        Hashtbl.replace last_for_dst dst i
+      done;
+      Array.iteri (fun i (dst, m) -> if not drop.(i) then t.send ~dst m) msgs
+
+let with_send_batch t f =
+  t.batch_depth <- t.batch_depth + 1;
+  let finish () =
+    t.batch_depth <- t.batch_depth - 1;
+    if t.batch_depth = 0 then flush_batch t
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
 
 let fresh_epoch t =
   t.epoch_counter <- t.epoch_counter + 1;
@@ -309,6 +381,10 @@ let refresh_freezes t =
       in
       set_frozen t fs
     end;
+    (* Nothing frozen here and nothing ever sent: no child notification
+       can result (relevant and previous are both empty for every child),
+       so skip the children walk — it is on the grant hot path. *)
+    if not (Mode_set.is_empty t.frozen && Hashtbl.length t.sent_freeze = 0) then begin
     let kids = children t in
     List.iter
       (fun (c, cm) ->
@@ -333,6 +409,7 @@ let refresh_freezes t =
           emit t c (Msg.Freeze { frozen = combined })
         end)
       kids
+    end
   end
 
 (* {1 Release reporting (Rule 5.2)} *)

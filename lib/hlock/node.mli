@@ -157,6 +157,26 @@ val kick : t -> unit
 (** Deliver one protocol message from node [src]. *)
 val handle_msg : t -> src:Node_id.t -> Msg.t -> unit
 
+(** [with_send_batch t f] buffers every message [f] emits and flushes the
+    batch when the outermost scope exits (scopes nest), after coalescing
+    messages a later message to the same destination provably supersedes:
+    a Freeze followed by another Freeze (sent sets are cumulative), and a
+    Release followed by another Release at the same epoch (the final
+    owned report is what the parent's record ends at either way). Only
+    per-destination-adjacent pairs coalesce, so nothing is reordered
+    relative to other traffic on the same link, and requests, grants and
+    tokens are never dropped.
+
+    This is an opt-in transport-level hook: real transports (the TCP
+    runner) wrap each message delivery / client call in it so compatible
+    local grants batch their upward Release/Freeze traffic into one wire
+    message; the simulator does not use it, keeping simulated message
+    counts and determinism digests exactly at the protocol's baseline. *)
+val with_send_batch : t -> (unit -> 'a) -> 'a
+
+(** Wire messages saved by {!with_send_batch} coalescing (process-wide). *)
+val coalesced : int ref
+
 (** {1 Introspection (tests, invariant checkers, tracing)} *)
 
 val id : t -> Node_id.t

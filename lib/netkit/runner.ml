@@ -1,12 +1,13 @@
 module Node = Dcs_hlock.Node
 module Codec = Dcs_wire.Codec
+module Buf = Dcs_wire.Buf
 
 let src_log = Logs.Src.create "dcs.netkit" ~doc:"TCP cluster runner"
 
 module Log = (val Logs.src_log src_log : Logs.LOG)
 
 type outbound = {
-  queue : string Queue.t;  (* encoded frames, body only *)
+  mutable queue : Codec.envelope Queue.t;  (* unencoded; the writer thread encodes *)
   mutable alive : bool;
   cond : Condition.t;
 }
@@ -14,15 +15,20 @@ type outbound = {
 type t = {
   config : Cluster_config.t;
   self : int;
-  state : Mutex.t;  (* guards nodes, callback tables *)
+  (* Striped engine locks: one mutex per lock object, so independent lock
+     engines dispatch concurrently instead of serializing on one global
+     mutex. Each stripe also guards that lock's callback tables. *)
+  stripes : Mutex.t array;
   mutable nodes : Node.t array;  (* one engine per lock *)
-  granted_cbs : (int * int, unit -> unit) Hashtbl.t;  (* (lock, seq) *)
-  granted_fired : (int * int, unit) Hashtbl.t;
-  upgraded_cbs : (int * int, unit -> unit) Hashtbl.t;
-  upgraded_fired : (int * int, unit) Hashtbl.t;
+  granted_cbs : (int, unit -> unit) Hashtbl.t array;  (* per lock, seq-keyed *)
+  granted_fired : (int, unit) Hashtbl.t array;
+  upgraded_cbs : (int, unit -> unit) Hashtbl.t array;
+  upgraded_fired : (int, unit) Hashtbl.t array;
   counters : Dcs_proto.Counters.t;
+  counters_lock : Mutex.t;
   outbounds : (int, outbound) Hashtbl.t;  (* peer id -> writer state *)
   outbound_lock : Mutex.t;
+  kick_interval : float;
   mutable listener : Unix.file_descr option;
   mutable running : bool;
   mutable threads : Thread.t list;
@@ -32,67 +38,116 @@ let id t = t.self
 
 let counters t = t.counters
 
-(* {1 Outbound connections: one writer thread per peer} *)
+(* {1 Outbound connections: one writer thread per peer}
+
+   Frames queue as unencoded envelopes; the writer thread drains the
+   whole queue under one lock acquisition, encodes everything into one
+   reusable flat buffer (4-byte big-endian length prefix per frame,
+   frames back to back) and flushes the batch with a single write. On a
+   write failure every frame the kernel did not fully accept is requeued
+   in order and the connection is re-established with capped exponential
+   backoff — frames are only ever dropped at shutdown, and then the
+   exact count is logged. *)
+
+let max_batch_bytes = 256 * 1024
+
+(* Write [len] bytes, reporting partial progress on failure so the
+   caller knows which whole frames the kernel accepted. *)
+let write_all fd buf len =
+  let off = ref 0 in
+  try
+    while !off < len do
+      let k = Unix.write fd buf !off (len - !off) in
+      off := !off + k
+    done;
+    Ok ()
+  with e -> Error (!off, e)
 
 let writer_loop t peer_id out =
   let peer = Cluster_config.peer t.config peer_id in
-  let rec connect attempts =
-    if not out.alive then None
-    else
-      try
-        let addr = Unix.ADDR_INET (Unix.inet_addr_of_string peer.host, peer.port) in
-        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-        Unix.setsockopt sock Unix.TCP_NODELAY true;
-        Unix.connect sock addr;
-        Some sock
-      with _ ->
-        if attempts > 100 then None
-        else begin
-          Thread.delay 0.1;
-          connect (attempts + 1)
-        end
-  in
-  match connect 0 with
-  | None -> Log.err (fun m -> m "writer to %d: could not connect" peer_id)
-  | Some fd ->
-      let really_write buf =
-        let n = Bytes.length buf in
-        let rec go off =
-          if off < n then begin
-            let k = Unix.write fd buf off (n - off) in
-            go (off + k)
-          end
-        in
-        go 0
-      in
-      let rec pump () =
-        Mutex.lock t.outbound_lock;
-        while Queue.is_empty out.queue && out.alive do
-          Condition.wait out.cond t.outbound_lock
-        done;
-        if not out.alive then begin
-          Mutex.unlock t.outbound_lock;
-          (try Unix.close fd with _ -> ())
-        end
-        else begin
-          let body = Queue.pop out.queue in
-          Mutex.unlock t.outbound_lock;
+  let wbuf = Buf.writer ~capacity:8192 () in
+  let drained = Queue.create () in  (* drained from out.queue, not yet on the wire *)
+  let connect () =
+    (* Retry while the runner lives: outbound frames wait in the queue
+       instead of being dropped. *)
+    let rec go delay attempts =
+      if not (out.alive && t.running) then None
+      else
+        match
+          let addr = Unix.ADDR_INET (Unix.inet_addr_of_string peer.host, peer.port) in
+          let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
           (try
-             let len = String.length body in
-             let frame = Bytes.create (4 + len) in
-             Bytes.set frame 0 (Char.chr ((len lsr 24) land 0xff));
-             Bytes.set frame 1 (Char.chr ((len lsr 16) land 0xff));
-             Bytes.set frame 2 (Char.chr ((len lsr 8) land 0xff));
-             Bytes.set frame 3 (Char.chr (len land 0xff));
-             Bytes.blit_string body 0 frame 4 len;
-             really_write frame
+             Unix.setsockopt sock Unix.TCP_NODELAY true;
+             Unix.connect sock addr;
+             sock
            with e ->
-             Log.err (fun m -> m "writer to %d: write failed: %s" peer_id (Printexc.to_string e));
-             out.alive <- false);
-          pump ()
-        end
-      in
-      pump ()
+             (try Unix.close sock with _ -> ());
+             raise e)
+        with
+        | sock -> Some sock
+        | exception _ ->
+            if attempts > 0 && attempts mod 50 = 0 then
+              Log.warn (fun m ->
+                  m "writer to %d: still unreachable after %d attempts" peer_id attempts);
+            Thread.delay delay;
+            go (Float.min 1.0 (delay *. 1.5)) (attempts + 1)
+    in
+    go 0.05 0
+  in
+  (* Put [envs] (oldest first) back ahead of everything still pending. *)
+  let requeue envs =
+    let q = Queue.create () in
+    List.iter (fun e -> Queue.push e q) envs;
+    Queue.transfer drained q;
+    Queue.transfer q drained
+  in
+  let rec session () =
+    match connect () with
+    | None ->
+        Mutex.lock t.outbound_lock;
+        let dropped = Queue.length drained + Queue.length out.queue in
+        Mutex.unlock t.outbound_lock;
+        if dropped > 0 then
+          Log.err (fun m -> m "writer to %d: shut down with %d frame(s) unsent" peer_id dropped)
+    | Some fd -> pump fd
+  and pump fd =
+    if Queue.is_empty drained then begin
+      Mutex.lock t.outbound_lock;
+      while Queue.is_empty out.queue && out.alive do
+        Condition.wait out.cond t.outbound_lock
+      done;
+      (* Batch drain: the whole outbound queue, one lock acquisition. *)
+      Queue.transfer out.queue drained;
+      Mutex.unlock t.outbound_lock
+    end;
+    if not out.alive then begin
+      (try Unix.close fd with _ -> ());
+      session ()  (* resolves to the shutdown branch; logs any drops *)
+    end
+    else begin
+      Buf.reset wbuf;
+      let batch = ref [] in  (* (envelope, end offset in wbuf), newest first *)
+      while (not (Queue.is_empty drained)) && Buf.length wbuf < max_batch_bytes do
+        let env = Queue.pop drained in
+        let at = Buf.length wbuf in
+        Buf.u32_be wbuf 0;
+        Codec.write_envelope wbuf env;
+        Buf.patch_u32_be wbuf ~at (Buf.length wbuf - at - 4);
+        batch := (env, Buf.length wbuf) :: !batch
+      done;
+      match write_all fd (Buf.unsafe_bytes wbuf) (Buf.length wbuf) with
+      | Ok () -> pump fd
+      | Error (written, e) ->
+          let unsent = List.rev (List.filter (fun (_, fin) -> fin > written) !batch) in
+          requeue (List.map fst unsent);
+          Log.err (fun m ->
+              m "writer to %d: write failed after %d bytes (%s); requeued %d frame(s), reconnecting"
+                peer_id written (Printexc.to_string e) (List.length unsent));
+          (try Unix.close fd with _ -> ());
+          session ()
+    end
+  in
+  session ()
 
 let outbound_for t peer_id =
   Mutex.lock t.outbound_lock;
@@ -109,63 +164,65 @@ let outbound_for t peer_id =
   Mutex.unlock t.outbound_lock;
   out
 
-let send_frame t ~dst body =
+let send_env t ~dst env =
   if dst = t.self then Log.err (fun m -> m "dropping self-addressed frame")
   else begin
     let out = outbound_for t dst in
     Mutex.lock t.outbound_lock;
-    Queue.push body out.queue;
+    Queue.push env out.queue;
     Condition.signal out.cond;
     Mutex.unlock t.outbound_lock
   end
 
 (* {1 Node construction} *)
 
-let create ?(protocol = Node.default_config) ~config ~self () =
+let create ?(protocol = Node.default_config) ?(kick_interval = 1.0) ~config ~self () =
   let n = Cluster_config.size config in
   if self < 0 || self >= n then invalid_arg "Runner.create: self out of range";
+  if kick_interval <= 0.0 then invalid_arg "Runner.create: kick_interval must be positive";
+  let locks = config.Cluster_config.locks in
   let t =
     {
       config;
       self;
-      state = Mutex.create ();
+      stripes = Array.init locks (fun _ -> Mutex.create ());
       nodes = [||];
-      granted_cbs = Hashtbl.create 32;
-      granted_fired = Hashtbl.create 32;
-      upgraded_cbs = Hashtbl.create 8;
-      upgraded_fired = Hashtbl.create 8;
+      granted_cbs = Array.init locks (fun _ -> Hashtbl.create 32);
+      granted_fired = Array.init locks (fun _ -> Hashtbl.create 32);
+      upgraded_cbs = Array.init locks (fun _ -> Hashtbl.create 8);
+      upgraded_fired = Array.init locks (fun _ -> Hashtbl.create 8);
       counters = Dcs_proto.Counters.create ();
+      counters_lock = Mutex.create ();
       outbounds = Hashtbl.create 8;
       outbound_lock = Mutex.create ();
+      kick_interval;
       listener = None;
       running = false;
       threads = [];
     }
   in
   let nodes =
-    Array.init config.Cluster_config.locks (fun lock ->
+    Array.init locks (fun lock ->
         let send ~dst msg =
+          (* Counters are shared across stripes; guard the increment. *)
+          Mutex.lock t.counters_lock;
           Dcs_proto.Counters.incr t.counters (Dcs_hlock.Msg.class_of msg);
-          let body =
-            Codec.encode { Codec.src = self; lock; payload = Codec.Hlock msg }
-          in
-          send_frame t ~dst body
+          Mutex.unlock t.counters_lock;
+          send_env t ~dst { Codec.src = self; lock; payload = Codec.Hlock msg }
         in
         let on_granted (r : Dcs_hlock.Msg.request) =
-          let key = (lock, r.seq) in
-          match Hashtbl.find_opt t.granted_cbs key with
+          match Hashtbl.find_opt t.granted_cbs.(lock) r.seq with
           | Some cb ->
-              Hashtbl.remove t.granted_cbs key;
+              Hashtbl.remove t.granted_cbs.(lock) r.seq;
               cb ()
-          | None -> Hashtbl.replace t.granted_fired key ()
+          | None -> Hashtbl.replace t.granted_fired.(lock) r.seq ()
         in
         let on_upgraded seq =
-          let key = (lock, seq) in
-          match Hashtbl.find_opt t.upgraded_cbs key with
+          match Hashtbl.find_opt t.upgraded_cbs.(lock) seq with
           | Some cb ->
-              Hashtbl.remove t.upgraded_cbs key;
+              Hashtbl.remove t.upgraded_cbs.(lock) seq;
               cb ()
-          | None -> Hashtbl.replace t.upgraded_fired key ()
+          | None -> Hashtbl.replace t.upgraded_fired.(lock) seq ()
         in
         Node.create ~config:protocol ~id:self ~peers:n ~is_token:(self = 0)
           ~parent:(if self = 0 then None else Some 0)
@@ -179,14 +236,16 @@ let create ?(protocol = Node.default_config) ~config ~self () =
 let dispatch t (env : Codec.envelope) =
   match env.Codec.payload with
   | Codec.Hlock msg ->
-      if env.Codec.lock < 0 || env.Codec.lock >= Array.length t.nodes then
-        Log.err (fun m -> m "message for unknown lock %d" env.Codec.lock)
+      let lock = env.Codec.lock in
+      if lock < 0 || lock >= Array.length t.nodes then
+        Log.err (fun m -> m "message for unknown lock %d" lock)
       else begin
-        Mutex.lock t.state;
-        (try Node.handle_msg t.nodes.(env.Codec.lock) ~src:env.Codec.src msg
-         with e ->
-           Log.err (fun m -> m "handler raised: %s" (Printexc.to_string e)));
-        Mutex.unlock t.state
+        let node = t.nodes.(lock) in
+        Mutex.lock t.stripes.(lock);
+        (try
+           Node.with_send_batch node (fun () -> Node.handle_msg node ~src:env.Codec.src msg)
+         with e -> Log.err (fun m -> m "handler raised: %s" (Printexc.to_string e)));
+        Mutex.unlock t.stripes.(lock)
       end
   | Codec.Naimi _ -> Log.err (fun m -> m "unexpected Naimi payload")
 
@@ -203,6 +262,9 @@ let really_read fd buf n =
 
 let reader_loop t fd =
   let header = Bytes.create 4 in
+  (* One reusable inbound buffer per connection, grown to the largest
+     frame seen; frames decode in place, no per-frame [Bytes.to_string]. *)
+  let body = ref (Bytes.create 4096) in
   let rec go () =
     match really_read fd header 4 with
     | exception End_of_file -> ()
@@ -216,11 +278,17 @@ let reader_loop t fd =
         in
         if len > Codec.max_frame then Log.err (fun m -> m "oversized frame (%d bytes)" len)
         else begin
-          let body = Bytes.create len in
-          match really_read fd body len with
+          if Bytes.length !body < len then begin
+            let cap = ref (2 * Bytes.length !body) in
+            while !cap < len do
+              cap := 2 * !cap
+            done;
+            body := Bytes.create !cap
+          end;
+          match really_read fd !body len with
           | exception _ -> ()
           | () -> (
-              match Codec.decode (Bytes.to_string body) with
+              match Codec.decode_sub !body ~off:0 ~len with
               | env ->
                   dispatch t env;
                   go ()
@@ -241,16 +309,23 @@ let accept_loop t sock =
 
 let kick_loop t =
   while t.running do
-    Thread.delay 1.0;
-    Mutex.lock t.state;
-    Array.iter Node.kick t.nodes;
-    Mutex.unlock t.state
+    Thread.delay t.kick_interval;
+    Array.iteri
+      (fun lock node ->
+        Mutex.lock t.stripes.(lock);
+        Node.with_send_batch node (fun () -> Node.kick node);
+        Mutex.unlock t.stripes.(lock))
+      t.nodes
   done
 
 let start t =
   if t.running then ()
   else begin
     t.running <- true;
+    (* A peer that dies between our connect and our write would otherwise
+       kill the whole process with SIGPIPE; the writer loop turns the
+       resulting EPIPE into a requeue-and-reconnect. *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
     let me = Cluster_config.peer t.config t.self in
     let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     Unix.setsockopt sock Unix.SO_REUSEADDR true;
@@ -316,43 +391,44 @@ let stop t =
 (* {1 Client API} *)
 
 let request ?priority t ~lock ~mode ~on_granted =
-  Mutex.lock t.state;
-  let seq = Node.request ?priority t.nodes.(lock) ~mode in
-  let key = (lock, seq) in
-  (if Hashtbl.mem t.granted_fired key then begin
-     Hashtbl.remove t.granted_fired key;
+  Mutex.lock t.stripes.(lock);
+  let node = t.nodes.(lock) in
+  let seq = Node.with_send_batch node (fun () -> Node.request ?priority node ~mode) in
+  (if Hashtbl.mem t.granted_fired.(lock) seq then begin
+     Hashtbl.remove t.granted_fired.(lock) seq;
      on_granted ()
    end
-   else Hashtbl.replace t.granted_cbs key on_granted);
-  Mutex.unlock t.state;
+   else Hashtbl.replace t.granted_cbs.(lock) seq on_granted);
+  Mutex.unlock t.stripes.(lock);
   seq
 
 let release t ~lock ~seq =
-  Mutex.lock t.state;
-  (try Node.release t.nodes.(lock) ~seq
+  Mutex.lock t.stripes.(lock);
+  let node = t.nodes.(lock) in
+  (try Node.with_send_batch node (fun () -> Node.release node ~seq)
    with e ->
-     Mutex.unlock t.state;
+     Mutex.unlock t.stripes.(lock);
      raise e);
-  Mutex.unlock t.state
+  Mutex.unlock t.stripes.(lock)
 
 let upgrade t ~lock ~seq ~on_upgraded =
-  Mutex.lock t.state;
+  Mutex.lock t.stripes.(lock);
+  let node = t.nodes.(lock) in
   (try
-     Node.upgrade t.nodes.(lock) ~seq;
-     let key = (lock, seq) in
-     if Hashtbl.mem t.upgraded_fired key then begin
-       Hashtbl.remove t.upgraded_fired key;
+     Node.with_send_batch node (fun () -> Node.upgrade node ~seq);
+     if Hashtbl.mem t.upgraded_fired.(lock) seq then begin
+       Hashtbl.remove t.upgraded_fired.(lock) seq;
        on_upgraded ()
      end
-     else Hashtbl.replace t.upgraded_cbs key on_upgraded
+     else Hashtbl.replace t.upgraded_cbs.(lock) seq on_upgraded
    with e ->
-     Mutex.unlock t.state;
+     Mutex.unlock t.stripes.(lock);
      raise e);
-  Mutex.unlock t.state
+  Mutex.unlock t.stripes.(lock)
 
 (* Blocking wrappers: a tiny one-shot latch. The grant callback may run on
-   a reader thread (under the state mutex) or synchronously in [request];
-   it only flips the latch, so holding the mutex is fine. *)
+   a reader thread (under the lock's stripe mutex) or synchronously in
+   [request]; it only flips the latch, so holding the mutex is fine. *)
 let request_sync ?priority t ~lock ~mode =
   let m = Mutex.create () and c = Condition.create () and done_ = ref false in
   let seq =

@@ -3,19 +3,50 @@
 
     Threads: one listener (accept loop), one reader per inbound connection,
     one writer per outbound peer (so protocol handlers never block on
-    sockets), and one watchdog running the custody kick. All protocol
-    state is guarded by a single mutex; grant callbacks run while it is
-    held and must not block or re-enter synchronously from another thread.
+    sockets), and one watchdog running the custody kick. Protocol state is
+    {e striped}: each lock object's engine (and its grant/upgrade callback
+    tables) has its own mutex, so traffic for independent locks dispatches
+    concurrently. Grant callbacks run while that lock's stripe mutex is
+    held and must not block or re-enter the same lock synchronously from
+    another thread.
+
+    The wire path is allocation-conscious: outbound messages queue as
+    unencoded envelopes and a per-peer writer thread drains the whole
+    queue under one lock acquisition, encodes the batch back-to-back into
+    one reusable flat buffer (each frame 4-byte big-endian length prefix +
+    envelope) and hands it to the kernel in a single write. Inbound frames
+    decode in place from a per-connection reusable buffer. Every protocol
+    entry point runs inside {!Dcs_hlock.Node.with_send_batch}, so
+    superseded upward Release/Freeze traffic coalesces before it is
+    queued.
+
+    Writer connections reconnect with capped exponential backoff; on a
+    failed write, frames the kernel did not fully accept are requeued in
+    order (a partially-written trailing frame is resent whole — the peer
+    discards the truncated copy at end-of-stream). Frames are dropped only
+    at {!stop}, and then the exact count is logged.
 
     The token for every lock starts at node 0 — start node 0 first, or let
     connection retries smooth over the startup order. *)
 
 type t
 
-(** Build a runner for [self] in [config]. Does not touch the network. *)
-val create : ?protocol:Dcs_hlock.Node.config -> config:Cluster_config.t -> self:int -> unit -> t
+(** Build a runner for [self] in [config]. Does not touch the network.
+    [kick_interval] (seconds, default 1.0, must be positive) is the period
+    of the custody-kick watchdog: lower it to the order of a few network
+    round trips for latency-sensitive deployments, raise it to quiet
+    idle clusters. *)
+val create :
+  ?protocol:Dcs_hlock.Node.config ->
+  ?kick_interval:float ->
+  config:Cluster_config.t ->
+  self:int ->
+  unit ->
+  t
 
-(** Bind the listen port and start the service threads. *)
+(** Bind the listen port and start the service threads. Ignores SIGPIPE
+    process-wide (a dead peer must surface as a write error the runner
+    can retry, not kill the process). *)
 val start : t -> unit
 
 (** Block until every peer's listen port accepts a TCP connection (the
@@ -28,7 +59,7 @@ val await_peers : ?timeout:float -> t -> (unit, string) result
 (** Stop the threads and close every socket. Idempotent. *)
 val stop : t -> unit
 
-(** {1 Asynchronous API (callbacks run under the state mutex)} *)
+(** {1 Asynchronous API (callbacks run under the lock's stripe mutex)} *)
 
 val request : ?priority:int -> t -> lock:int -> mode:Dcs_modes.Mode.t -> on_granted:(unit -> unit) -> int
 val release : t -> lock:int -> seq:int -> unit

@@ -45,40 +45,6 @@ let set_tick t hook = t.tick <- hook
 
 let now t = t.clock.time
 
-let lt t i j =
-  let ki = t.keys.(i) and kj = t.keys.(j) in
-  if ki < kj then true else if ki > kj then false else t.seqs.(i) < t.seqs.(j)
-
-let swap t i j =
-  let k = t.keys.(i) in
-  t.keys.(i) <- t.keys.(j);
-  t.keys.(j) <- k;
-  let s = t.seqs.(i) in
-  t.seqs.(i) <- t.seqs.(j);
-  t.seqs.(j) <- s;
-  let v = t.vals.(i) in
-  t.vals.(i) <- t.vals.(j);
-  t.vals.(j) <- v
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if lt t i parent then begin
-      swap t i parent;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && lt t l !smallest then smallest := l;
-  if r < t.size && lt t r !smallest then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
-
 let ensure_room t =
   let cap = Array.length t.keys in
   if t.size = cap then begin
@@ -94,28 +60,78 @@ let ensure_room t =
     t.vals <- vals
   end
 
+(* Ordering: time first, schedule order (seqs) as the tie-break. Both
+   sifts move the hole instead of swapping — one array write per level
+   per array — and use [unsafe_get]/[unsafe_set]: every index is bounded
+   by [t.size], already checked against the capacity. *)
+
 let remove_min t =
   t.size <- t.size - 1;
   let last = t.size in
-  if last > 0 then begin
-    t.keys.(0) <- t.keys.(last);
-    t.seqs.(0) <- t.seqs.(last);
-    t.vals.(0) <- t.vals.(last);
-  end;
-  (* Release the popped callback so the heap does not retain it. *)
-  t.vals.(last) <- nothing;
-  if last > 0 then sift_down t 0
+  let keys = t.keys and seqs = t.seqs and vals = t.vals in
+  if last = 0 then
+    (* Release the popped callback so the heap does not retain it. *)
+    Array.unsafe_set vals 0 nothing
+  else begin
+    let key = Array.unsafe_get keys last in
+    let seq = Array.unsafe_get seqs last in
+    let v = Array.unsafe_get vals last in
+    Array.unsafe_set vals last nothing;
+    let i = ref 0 in
+    let sifting = ref true in
+    while !sifting do
+      let l = (2 * !i) + 1 in
+      if l >= last then sifting := false
+      else begin
+        let c =
+          let r = l + 1 in
+          if r < last then begin
+            let kl = Array.unsafe_get keys l and kr = Array.unsafe_get keys r in
+            if kl < kr || (kl = kr && Array.unsafe_get seqs l < Array.unsafe_get seqs r) then l
+            else r
+          end
+          else l
+        in
+        let ckey = Array.unsafe_get keys c in
+        if ckey < key || (ckey = key && Array.unsafe_get seqs c < seq) then begin
+          Array.unsafe_set keys !i ckey;
+          Array.unsafe_set seqs !i (Array.unsafe_get seqs c);
+          Array.unsafe_set vals !i (Array.unsafe_get vals c);
+          i := c
+        end
+        else sifting := false
+      end
+    done;
+    Array.unsafe_set keys !i key;
+    Array.unsafe_set seqs !i seq;
+    Array.unsafe_set vals !i v
+  end
 
 let schedule_at t ~time f =
   let time = if time < t.clock.time then t.clock.time else time in
   ensure_room t;
-  let i = t.size in
-  t.keys.(i) <- time;
-  t.seqs.(i) <- t.next_seq;
-  t.vals.(i) <- f;
-  t.next_seq <- t.next_seq + 1;
-  t.size <- t.size + 1;
-  sift_up t i
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let keys = t.keys and seqs = t.seqs and vals = t.vals in
+  let i = ref t.size in
+  t.size <- !i + 1;
+  (* The new event carries the largest seq, so on a time tie it sorts
+     after the incumbent: no seq comparison needed on the way up. *)
+  let sifting = ref true in
+  while !sifting && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let pk = Array.unsafe_get keys p in
+    if time < pk then begin
+      Array.unsafe_set keys !i pk;
+      Array.unsafe_set seqs !i (Array.unsafe_get seqs p);
+      Array.unsafe_set vals !i (Array.unsafe_get vals p);
+      i := p
+    end
+    else sifting := false
+  done;
+  Array.unsafe_set keys !i time;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set vals !i f
 
 let schedule t ~after f =
   let after = if after < 0.0 then 0.0 else after in

@@ -24,41 +24,6 @@ let length t = t.size
 
 let is_empty t = t.size = 0
 
-(* Ordering: key first, insertion order as the tie-break (stability). *)
-let lt t i j =
-  let c = t.compare t.keys.(i) t.keys.(j) in
-  if c <> 0 then c < 0 else t.seqs.(i) < t.seqs.(j)
-
-let swap t i j =
-  let k = t.keys.(i) in
-  t.keys.(i) <- t.keys.(j);
-  t.keys.(j) <- k;
-  let s = t.seqs.(i) in
-  t.seqs.(i) <- t.seqs.(j);
-  t.seqs.(j) <- s;
-  let v = t.vals.(i) in
-  t.vals.(i) <- t.vals.(j);
-  t.vals.(j) <- v
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if lt t i parent then begin
-      swap t i parent;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && lt t l !smallest then smallest := l;
-  if r < t.size && lt t r !smallest then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
-
 let ensure_room t key value =
   let cap = Array.length t.keys in
   if t.size = cap then begin
@@ -75,15 +40,36 @@ let ensure_room t key value =
     t.vals <- vals
   end
 
+(* Ordering: key first, insertion order as the tie-break (stability).
+   Both sifts move the hole instead of swapping — one array write per
+   level per array instead of three — and index with [unsafe_get]/
+   [unsafe_set]: every index is bounded by [t.size], which the
+   surrounding code has already checked against the capacity. *)
+
 let add t key value =
   ensure_room t key value;
-  let i = t.size in
-  t.keys.(i) <- key;
-  t.seqs.(i) <- t.next_seq;
-  t.vals.(i) <- value;
-  t.next_seq <- t.next_seq + 1;
-  t.size <- t.size + 1;
-  sift_up t i
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let keys = t.keys and seqs = t.seqs and vals = t.vals in
+  let i = ref t.size in
+  t.size <- !i + 1;
+  (* The new element carries the largest seq, so on a key tie it stays
+     below the incumbent: no seq comparison needed on the way up. *)
+  let sifting = ref true in
+  while !sifting && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let pk = Array.unsafe_get keys p in
+    if t.compare key pk < 0 then begin
+      Array.unsafe_set keys !i pk;
+      Array.unsafe_set seqs !i (Array.unsafe_get seqs p);
+      Array.unsafe_set vals !i (Array.unsafe_get vals p);
+      i := p
+    end
+    else sifting := false
+  done;
+  Array.unsafe_set keys !i key;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set vals !i value
 
 let unsafe_min_key t = t.keys.(0)
 
@@ -91,13 +77,42 @@ let unsafe_min_value t = t.vals.(0)
 
 let remove_min t =
   if t.size > 0 then begin
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      let last = t.size in
-      t.keys.(0) <- t.keys.(last);
-      t.seqs.(0) <- t.seqs.(last);
-      t.vals.(0) <- t.vals.(last);
-      sift_down t 0
+    let last = t.size - 1 in
+    t.size <- last;
+    if last > 0 then begin
+      let keys = t.keys and seqs = t.seqs and vals = t.vals in
+      let key = Array.unsafe_get keys last in
+      let seq = Array.unsafe_get seqs last in
+      let value = Array.unsafe_get vals last in
+      let i = ref 0 in
+      let sifting = ref true in
+      while !sifting do
+        let l = (2 * !i) + 1 in
+        if l >= last then sifting := false
+        else begin
+          let c =
+            let r = l + 1 in
+            if r < last then begin
+              let ck = t.compare (Array.unsafe_get keys l) (Array.unsafe_get keys r) in
+              if ck < 0 || (ck = 0 && Array.unsafe_get seqs l < Array.unsafe_get seqs r) then l
+              else r
+            end
+            else l
+          in
+          let ckey = Array.unsafe_get keys c in
+          let cc = t.compare ckey key in
+          if cc < 0 || (cc = 0 && Array.unsafe_get seqs c < seq) then begin
+            Array.unsafe_set keys !i ckey;
+            Array.unsafe_set seqs !i (Array.unsafe_get seqs c);
+            Array.unsafe_set vals !i (Array.unsafe_get vals c);
+            i := c
+          end
+          else sifting := false
+        end
+      done;
+      Array.unsafe_set keys !i key;
+      Array.unsafe_set seqs !i seq;
+      Array.unsafe_set vals !i value
     end
   end
 

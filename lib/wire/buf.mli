@@ -2,7 +2,15 @@
 
     All integers on the wire are non-negative; signed values are mapped by
     the callers. Decoding raises {!Malformed} on truncated or invalid
-    input — never an out-of-bounds exception. *)
+    input — never an out-of-bounds exception.
+
+    The writer is a reusable flat [Bytes.t] buffer: it grows once
+    (amortized doubling) and {!reset} rewinds it between frames without
+    freeing, so steady-state encoding allocates nothing. The reader is a
+    zero-copy cursor over a caller-owned [Bytes.t] slice; {!attach}
+    re-aims an existing reader so steady-state decoding allocates only
+    what the decoded value itself needs. The historical [Buffer]-backed
+    implementation survives as {!Legacy} for differential testing. *)
 
 exception Malformed of string
 
@@ -10,8 +18,27 @@ exception Malformed of string
 
 type writer
 
-val writer : unit -> writer
+(** [writer ?capacity ()] allocates a fresh flat buffer (default 64
+    bytes); it doubles as needed and never shrinks. *)
+val writer : ?capacity:int -> unit -> writer
+
+(** Rewind to empty, retaining the underlying storage. *)
+val reset : writer -> unit
+
+(** Bytes written since creation or the last {!reset}. *)
+val length : writer -> int
+
+(** Copy the written prefix out as a fresh string. *)
 val contents : writer -> string
+
+(** The underlying storage; only the first {!length} bytes are
+    meaningful, and any write to the writer may replace it (growth).
+    For transports that hand the bytes straight to a syscall. *)
+val unsafe_bytes : writer -> Bytes.t
+
+(** [blit w dst pos] copies the written prefix into [dst] at [pos]. *)
+val blit : writer -> Bytes.t -> int -> unit
+
 val u8 : writer -> int -> unit
 
 (** Unsigned LEB128; accepts any non-negative OCaml int. Raises
@@ -23,22 +50,70 @@ val bool : writer -> bool -> unit
 (** Length-prefixed bytes. *)
 val string : writer -> string -> unit
 
+(** [list w f l] writes a varint count then the elements. *)
+val list : writer -> (writer -> 'a -> unit) -> 'a list -> unit
+
+(** Fixed-width big-endian u32, the stream-framing length prefix. *)
+val u32_be : writer -> int -> unit
+
+(** [patch_u32_be w ~at v] overwrites 4 bytes previously written at
+    offset [at] — reserve with {!u32_be} [w 0], encode the body, then
+    patch the real length in. Raises [Invalid_argument] if [at+4]
+    exceeds {!length}. *)
+val patch_u32_be : writer -> at:int -> int -> unit
+
 (** {1 Reading} *)
 
 type reader
 
+(** Cursor over a whole string (zero-copy; the string must not be
+    mutated through other aliases). *)
 val reader : string -> reader
 
-(** True when every byte has been consumed. *)
+(** [reader_sub b ~off ~len] is a cursor over [b.[off .. off+len-1]].
+    Raises [Invalid_argument] on an out-of-range slice. *)
+val reader_sub : Bytes.t -> off:int -> len:int -> reader
+
+(** Re-aim an existing reader at a new slice, allocating nothing. *)
+val attach : reader -> Bytes.t -> off:int -> len:int -> unit
+
+(** True when every byte of the slice has been consumed. *)
 val at_end : reader -> bool
 
 val read_u8 : reader -> int
 val read_varint : reader -> int
 val read_bool : reader -> bool
 val read_string : reader -> string
+val read_u32_be : reader -> int
 
 (** [read_list r f] reads a varint count then [count] elements. *)
 val read_list : reader -> (reader -> 'a) -> 'a list
 
-(** [list w f l] writes a varint count then the elements. *)
-val list : writer -> (writer -> 'a -> unit) -> 'a list -> unit
+(** [skip_list r f] reads and validates a varint count then [count]
+    elements via [f], materializing nothing. *)
+val skip_list : reader -> (reader -> unit) -> unit
+
+(** {1 Writer abstraction}
+
+    The encoder primitives as a signature, so codecs can be written once
+    and instantiated against both the flat writer (production) and the
+    {!Legacy} [Buffer] writer (differential tests). *)
+
+module type WRITER = sig
+  type writer
+
+  val u8 : writer -> int -> unit
+  val varint : writer -> int -> unit
+  val bool : writer -> bool -> unit
+  val string : writer -> string -> unit
+  val list : writer -> (writer -> 'a -> unit) -> 'a list -> unit
+end
+
+(** The original [Buffer]-backed writer, kept only as the reference
+    implementation for differential tests of the flat path. *)
+module Legacy : sig
+  include WRITER with type writer = Buffer.t
+
+  val writer : unit -> writer
+  val contents : writer -> string
+end

@@ -15,16 +15,108 @@ let version = 4
 (* v2: request carries a priority; v3: naimi request carries a span seq;
    v4: grant carries the granter's recorded child mode *)
 
-let mode w (m : Mode.t) = Buf.u8 w (Mode.index m)
+(* {1 Encoding}
+
+   The encoders are written once against {!Buf.WRITER} and instantiated
+   twice: against the flat writer (the production path) and against the
+   legacy [Buffer] writer, which exists only so tests can check the flat
+   path byte-for-byte against the historical implementation. *)
+
+module Enc (W : Buf.WRITER) = struct
+  (* Node-id list items are encoded through this named function: an
+     anonymous [fun w n -> W.varint w n] at the use sites would capture
+     [W] and allocate a closure per message (no flambda). *)
+  let varint_item w (n : int) = W.varint w n
+
+  let mode w (m : Mode.t) = W.u8 w (Mode.index m)
+
+  let mode_opt w = function
+    | None -> W.u8 w 255
+    | Some m -> mode w m
+
+  let mode_set w s = W.u8 w (Mode_set.to_bits s)
+
+  let request w (r : Msg.request) =
+    W.varint w r.requester;
+    W.varint w r.seq;
+    mode w r.mode;
+    W.bool w r.upgrade;
+    W.varint w r.timestamp;
+    W.varint w r.priority;
+    W.varint w r.hops;
+    W.bool w r.token_only;
+    W.varint w (fst r.hint);
+    W.varint w (snd r.hint);
+    W.list w varint_item r.path
+
+  let hlock_msg w (m : Msg.t) =
+    match m with
+    | Msg.Request req ->
+        W.u8 w 0;
+        request w req
+    | Msg.Grant { req; epoch; recorded; ancestry } ->
+        W.u8 w 1;
+        request w req;
+        W.varint w epoch;
+        mode w recorded;
+        W.list w varint_item ancestry
+    | Msg.Token { serving; sender_owned; sender_epoch; queue; frozen } ->
+        W.u8 w 2;
+        request w serving;
+        mode_opt w sender_owned;
+        W.varint w sender_epoch;
+        W.list w request queue;
+        mode_set w frozen
+    | Msg.Release { new_owned; epoch } ->
+        W.u8 w 3;
+        mode_opt w new_owned;
+        W.varint w epoch
+    | Msg.Freeze { frozen } ->
+        W.u8 w 4;
+        mode_set w frozen
+
+  let naimi_msg w (m : Dcs_naimi.Naimi.msg) =
+    match m with
+    | Dcs_naimi.Naimi.Request { requester; seq } ->
+        W.u8 w 0;
+        W.varint w requester;
+        W.varint w seq
+    | Dcs_naimi.Naimi.Token -> W.u8 w 1
+
+  let envelope w e =
+    W.u8 w version;
+    W.varint w e.src;
+    W.varint w e.lock;
+    match e.payload with
+    | Hlock m ->
+        W.u8 w 0;
+        hlock_msg w m
+    | Naimi m ->
+        W.u8 w 1;
+        naimi_msg w m
+end
+
+module Flat = Enc (Buf)
+module Legacy = Enc (Buf.Legacy)
+
+let write_envelope w e = Flat.envelope w e
+
+let encode e =
+  let w = Buf.writer ~capacity:128 () in
+  Flat.envelope w e;
+  Buf.contents w
+
+let encode_legacy e =
+  let w = Buf.Legacy.writer () in
+  Legacy.envelope w e;
+  Buf.Legacy.contents w
+
+(* {1 Decoding} *)
 
 let read_mode r =
   let i = Buf.read_u8 r in
   if i < 0 || i > 4 then raise (Buf.Malformed (Printf.sprintf "bad mode %d" i));
   Mode.of_index i
-
-let mode_opt w = function
-  | None -> Buf.u8 w 255
-  | Some m -> mode w m
 
 let read_mode_opt r =
   match Buf.read_u8 r with
@@ -32,25 +124,10 @@ let read_mode_opt r =
   | i when i >= 0 && i <= 4 -> Some (Mode.of_index i)
   | i -> raise (Buf.Malformed (Printf.sprintf "bad mode option %d" i))
 
-let mode_set w s = Buf.u8 w (Mode_set.to_bits s)
-
 let read_mode_set r =
   let bits = Buf.read_u8 r in
   if bits land lnot 0b11111 <> 0 then raise (Buf.Malformed "bad mode set");
   Mode_set.of_bits bits
-
-let request w (r : Msg.request) =
-  Buf.varint w r.requester;
-  Buf.varint w r.seq;
-  mode w r.mode;
-  Buf.bool w r.upgrade;
-  Buf.varint w r.timestamp;
-  Buf.varint w r.priority;
-  Buf.varint w r.hops;
-  Buf.bool w r.token_only;
-  Buf.varint w (fst r.hint);
-  Buf.varint w (snd r.hint);
-  Buf.list w (fun w n -> Buf.varint w n) r.path
 
 let read_request r : Msg.request =
   let requester = Buf.read_varint r in
@@ -65,32 +142,6 @@ let read_request r : Msg.request =
   let owner = Buf.read_varint r in
   let path = Buf.read_list r Buf.read_varint in
   { requester; seq; mode; upgrade; timestamp; priority; hops; token_only; hint = (tenure, owner); path }
-
-let hlock_msg w (m : Msg.t) =
-  match m with
-  | Msg.Request req ->
-      Buf.u8 w 0;
-      request w req
-  | Msg.Grant { req; epoch; recorded; ancestry } ->
-      Buf.u8 w 1;
-      request w req;
-      Buf.varint w epoch;
-      mode w recorded;
-      Buf.list w (fun w n -> Buf.varint w n) ancestry
-  | Msg.Token { serving; sender_owned; sender_epoch; queue; frozen } ->
-      Buf.u8 w 2;
-      request w serving;
-      mode_opt w sender_owned;
-      Buf.varint w sender_epoch;
-      Buf.list w request queue;
-      mode_set w frozen
-  | Msg.Release { new_owned; epoch } ->
-      Buf.u8 w 3;
-      mode_opt w new_owned;
-      Buf.varint w epoch
-  | Msg.Freeze { frozen } ->
-      Buf.u8 w 4;
-      mode_set w frozen
 
 let read_hlock_msg r : Msg.t =
   match Buf.read_u8 r with
@@ -115,14 +166,6 @@ let read_hlock_msg r : Msg.t =
   | 4 -> Msg.Freeze { frozen = read_mode_set r }
   | t -> raise (Buf.Malformed (Printf.sprintf "bad hlock tag %d" t))
 
-let naimi_msg w (m : Dcs_naimi.Naimi.msg) =
-  match m with
-  | Dcs_naimi.Naimi.Request { requester; seq } ->
-      Buf.u8 w 0;
-      Buf.varint w requester;
-      Buf.varint w seq
-  | Dcs_naimi.Naimi.Token -> Buf.u8 w 1
-
 let read_naimi_msg r : Dcs_naimi.Naimi.msg =
   match Buf.read_u8 r with
   | 0 ->
@@ -132,22 +175,7 @@ let read_naimi_msg r : Dcs_naimi.Naimi.msg =
   | 1 -> Dcs_naimi.Naimi.Token
   | t -> raise (Buf.Malformed (Printf.sprintf "bad naimi tag %d" t))
 
-let encode e =
-  let w = Buf.writer () in
-  Buf.u8 w version;
-  Buf.varint w e.src;
-  Buf.varint w e.lock;
-  (match e.payload with
-  | Hlock m ->
-      Buf.u8 w 0;
-      hlock_msg w m
-  | Naimi m ->
-      Buf.u8 w 1;
-      naimi_msg w m);
-  Buf.contents w
-
-let decode s =
-  let r = Buf.reader s in
+let read_envelope r =
   let v = Buf.read_u8 r in
   if v <> version then raise (Buf.Malformed (Printf.sprintf "unsupported version %d" v));
   let src = Buf.read_varint r in
@@ -161,16 +189,88 @@ let decode s =
   if not (Buf.at_end r) then raise (Buf.Malformed "trailing bytes");
   { src; lock; payload }
 
+let decode s = read_envelope (Buf.reader s)
+
+let decode_sub b ~off ~len = read_envelope (Buf.reader_sub b ~off ~len)
+
+(* {1 Skimming}
+
+   The full decoder, minus materialization: every field is read and
+   validated exactly as [read_envelope] would, but nothing is built, so
+   a frame can be checked (or its class inspected) with zero allocation.
+   Mirrors the readers above — extend both when the wire format grows. *)
+
+let skim_mode r = ignore (read_mode r)
+
+(* Not [ignore (read_mode_opt r)]: building the [Some] would allocate. *)
+let skim_mode_opt r =
+  match Buf.read_u8 r with
+  | 255 -> ()
+  | i when i >= 0 && i <= 4 -> ()
+  | i -> raise (Buf.Malformed (Printf.sprintf "bad mode option %d" i))
+
+let skim_mode_set r = ignore (read_mode_set r)
+
+let skim_varint r = ignore (Buf.read_varint r)
+
+let skim_request r =
+  skim_varint r;
+  skim_varint r;
+  skim_mode r;
+  ignore (Buf.read_bool r);
+  skim_varint r;
+  skim_varint r;
+  skim_varint r;
+  ignore (Buf.read_bool r);
+  skim_varint r;
+  skim_varint r;
+  Buf.skip_list r skim_varint
+
+let skim_envelope r =
+  let v = Buf.read_u8 r in
+  if v <> version then raise (Buf.Malformed (Printf.sprintf "unsupported version %d" v));
+  skim_varint r;
+  skim_varint r;
+  (match Buf.read_u8 r with
+  | 0 -> (
+      match Buf.read_u8 r with
+      | 0 -> skim_request r
+      | 1 ->
+          skim_request r;
+          skim_varint r;
+          skim_mode r;
+          Buf.skip_list r skim_varint
+      | 2 ->
+          skim_request r;
+          skim_mode_opt r;
+          skim_varint r;
+          Buf.skip_list r skim_request;
+          skim_mode_set r
+      | 3 ->
+          skim_mode_opt r;
+          skim_varint r
+      | 4 -> skim_mode_set r
+      | t -> raise (Buf.Malformed (Printf.sprintf "bad hlock tag %d" t)))
+  | 1 -> (
+      match Buf.read_u8 r with
+      | 0 ->
+          skim_varint r;
+          skim_varint r
+      | 1 -> ()
+      | t -> raise (Buf.Malformed (Printf.sprintf "bad naimi tag %d" t)))
+  | t -> raise (Buf.Malformed (Printf.sprintf "bad payload tag %d" t)));
+  if not (Buf.at_end r) then raise (Buf.Malformed "trailing bytes")
+
+(* {1 Stream framing} *)
+
 let max_frame = 1 lsl 20
 
 let write_frame oc e =
-  let body = encode e in
-  let len = String.length body in
-  output_char oc (Char.chr ((len lsr 24) land 0xff));
-  output_char oc (Char.chr ((len lsr 16) land 0xff));
-  output_char oc (Char.chr ((len lsr 8) land 0xff));
-  output_char oc (Char.chr (len land 0xff));
-  output_string oc body;
+  let w = Buf.writer ~capacity:128 () in
+  Buf.u32_be w 0;
+  Flat.envelope w e;
+  Buf.patch_u32_be w ~at:0 (Buf.length w - 4);
+  output_bytes oc (Bytes.sub (Buf.unsafe_bytes w) 0 (Buf.length w));
   flush oc
 
 let read_frame ic =
@@ -192,4 +292,4 @@ let read_frame ic =
       let body = Bytes.create len in
       (try really_input ic body 0 len
        with End_of_file -> raise (Buf.Malformed "truncated frame body"));
-      Some (decode (Bytes.to_string body))
+      Some (decode_sub body ~off:0 ~len)

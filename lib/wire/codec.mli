@@ -5,8 +5,17 @@
     message. Frames are versioned: decoding rejects unknown versions with
     {!Buf.Malformed}.
 
+    Two encode/decode surfaces exist. The string API ({!encode} /
+    {!decode}) is a thin convenience shim. The flat API
+    ({!write_envelope} into a reusable {!Buf.writer}, {!read_envelope} /
+    {!decode_sub} over caller-owned bytes, {!skim_envelope} for
+    validation) is the zero-allocation transport path: with a reused
+    writer and reader, encoding and skimming allocate nothing, and
+    decoding allocates only the decoded message itself.
+
     Framing for stream transports is a 4-byte big-endian length prefix
-    followed by the encoded envelope ({!write_frame} / {!read_frame}). *)
+    followed by the encoded envelope ({!write_frame} / {!read_frame});
+    batched transports concatenate several such frames into one write. *)
 
 type payload =
   | Hlock of Dcs_hlock.Msg.t
@@ -21,7 +30,33 @@ type envelope = {
 (** Current format version, encoded into every message. *)
 val version : int
 
+(** {1 Flat (zero-allocation) path} *)
+
+(** Append one encoded envelope to the writer; allocates nothing. *)
+val write_envelope : Buf.writer -> envelope -> unit
+
+(** Decode one envelope from a reader positioned on it; the whole slice
+    must be consumed. Raises {!Buf.Malformed} on garbage, truncation or
+    version mismatch. *)
+val read_envelope : Buf.reader -> envelope
+
+(** [decode_sub b ~off ~len] decodes the envelope occupying exactly that
+    slice. *)
+val decode_sub : Bytes.t -> off:int -> len:int -> envelope
+
+(** Validate without materializing: reads every field exactly as
+    {!read_envelope} would — same {!Buf.Malformed} failures, including
+    the trailing-bytes check — but builds nothing and allocates
+    nothing. *)
+val skim_envelope : Buf.reader -> unit
+
+(** {1 String shim} *)
+
 val encode : envelope -> string
+
+(** Reference encoding through the legacy [Buffer] writer; must agree
+    with {!encode} byte-for-byte. Exists for differential tests only. *)
+val encode_legacy : envelope -> string
 
 (** Raises {!Buf.Malformed} on garbage, truncation or version mismatch. *)
 val decode : string -> envelope

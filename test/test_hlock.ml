@@ -691,6 +691,71 @@ let test_many_concurrent_holds () =
   List.iter (fun seq -> SC.release c ~node:0 ~seq) keep;
   checki "all released" 0 (List.length (Node.held (SC.node c 0)))
 
+(* {1 Send batching (transport-level coalescing hook)} *)
+
+(* Two releases inside one batch scope produce two upward Release
+   messages at the same epoch; the batch must deliver only the final one
+   (the parent's record ends at the same owned mode either way). *)
+let test_send_batch_coalesces_releases () =
+  let sent = ref [] in
+  let n0 = ref None and n1 = ref None in
+  let deliver target src msg =
+    match !target with Some n -> Node.handle_msg n ~src msg | None -> ()
+  in
+  let node0 =
+    Node.create ~config:no_cache_config ~id:0 ~peers:2 ~is_token:true ~parent:None
+      ~send:(fun ~dst:_ msg -> deliver n1 0 msg)
+      ~on_granted:(fun _ -> ())
+      ~on_upgraded:(fun _ -> ())
+      ()
+  in
+  let node1 =
+    Node.create ~config:no_cache_config ~id:1 ~peers:2 ~is_token:false ~parent:(Some 0)
+      ~send:(fun ~dst msg ->
+        sent := (dst, msg) :: !sent;
+        deliver n0 1 msg)
+      ~on_granted:(fun _ -> ())
+      ~on_upgraded:(fun _ -> ())
+      ()
+  in
+  n0 := Some node0;
+  n1 := Some node1;
+  (* The token node holds R itself so node 1's requests are served by
+     copy grants (owned R can child-grant R), not by a token transfer
+     that would leave node 1 parentless. *)
+  ignore (Node.request node0 ~mode:Mode.R);
+  let s1 = Node.request node1 ~mode:Mode.R in
+  let s2 = Node.request node1 ~mode:Mode.IR in
+  checki "both held" 2 (List.length (Node.held node1));
+  checkb "node 1 not the token" false (Node.is_token node1);
+  sent := [];
+  let before = !Node.coalesced in
+  Node.with_send_batch node1 (fun () ->
+      Node.release node1 ~seq:s1;
+      Node.release node1 ~seq:s2);
+  let releases =
+    List.filter (fun (_, m) -> match m with Msg.Release _ -> true | _ -> false) !sent
+  in
+  checki "one release on the wire" 1 (List.length releases);
+  (match releases with
+  | [ (dst, Msg.Release { new_owned; _ }) ] ->
+      checki "to the parent" 0 dst;
+      checkb "final owned report wins" true (new_owned = None)
+  | _ -> Alcotest.fail "unexpected batch contents");
+  checki "coalesced counter" (before + 1) !Node.coalesced;
+  checkb "node0 saw the release" true (Node.children node0 = [])
+
+(* Batching must not reorder or drop anything it cannot prove
+   superseded: a single message in a batch flushes unchanged, and the
+   scope's return value passes through. *)
+let test_send_batch_passthrough () =
+  let c = SC.create 2 in
+  let node1 = SC.node c 1 in
+  let v = Node.with_send_batch node1 (fun () -> Node.request node1 ~mode:Mode.R) in
+  SC.settle c;
+  checkb "granted after batched request" true (SC.granted c ~node:1 ~seq:v);
+  SC.check_compat c
+
 let () =
   Alcotest.run "dcs_hlock"
     [
@@ -757,5 +822,10 @@ let () =
         [
           Alcotest.test_case "classes" `Quick test_msg_classes;
           Alcotest.test_case "queue merging" `Quick test_merge_queues_orders_by_timestamp;
+        ] );
+      ( "send batching",
+        [
+          Alcotest.test_case "coalesces releases" `Quick test_send_batch_coalesces_releases;
+          Alcotest.test_case "passthrough" `Quick test_send_batch_passthrough;
         ] );
     ]

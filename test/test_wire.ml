@@ -145,6 +145,124 @@ let prop_release_roundtrip =
 let prop_freeze_roundtrip =
   per_class_roundtrip "freeze" Q.Gen.(map (fun frozen -> Msg.Freeze { frozen }) gen_mode_set)
 
+(* {2 Flat writer vs the legacy [Buffer] writer}
+
+   The flat path must be a pure representation change: for every message
+   class, the bytes must match the historical Buffer-based encoder
+   (instantiated from the same functor as [Codec.encode_legacy])
+   byte-for-byte. *)
+
+let per_class_flat_eq_legacy name gen =
+  Q.Test.make ~name:(name ^ " flat = legacy bytes") ~count:500
+    Q.Gen.(map hlock_envelope gen)
+    (fun env -> Codec.encode env = Codec.encode_legacy env)
+
+let prop_request_flat_eq_legacy =
+  per_class_flat_eq_legacy "request" Q.Gen.(map (fun r -> Msg.Request r) gen_request)
+
+let prop_grant_flat_eq_legacy =
+  per_class_flat_eq_legacy "grant"
+    Q.Gen.(
+      let* req = gen_request in
+      let* epoch = int_bound 100_000 in
+      let* recorded = Testkit.gen_mode in
+      let* ancestry = list_size (int_bound 10) (int_bound 200) in
+      return (Msg.Grant { req; epoch; recorded; ancestry }))
+
+let prop_token_flat_eq_legacy =
+  per_class_flat_eq_legacy "token"
+    Q.Gen.(
+      let* serving = gen_request in
+      let* sender_owned = Testkit.gen_mode_opt in
+      let* sender_epoch = int_bound 100_000 in
+      let* queue = list_size (int_bound 8) gen_request in
+      let* frozen = gen_mode_set in
+      return (Msg.Token { serving; sender_owned; sender_epoch; queue; frozen }))
+
+let prop_release_flat_eq_legacy =
+  per_class_flat_eq_legacy "release"
+    Q.Gen.(
+      let* new_owned = Testkit.gen_mode_opt in
+      let* epoch = int_bound 100_000 in
+      return (Msg.Release { new_owned; epoch }))
+
+let prop_freeze_flat_eq_legacy =
+  per_class_flat_eq_legacy "freeze" Q.Gen.(map (fun frozen -> Msg.Freeze { frozen }) gen_mode_set)
+
+let prop_naimi_flat_eq_legacy =
+  Q.Test.make ~name:"naimi flat = legacy bytes" ~count:100
+    Q.Gen.(
+      let* payload =
+        oneofl
+          [
+            Codec.Naimi (Dcs_naimi.Naimi.Request { requester = 3; seq = 17 });
+            Codec.Naimi Dcs_naimi.Naimi.Token;
+          ]
+      in
+      let* src = int_bound 200 in
+      let* lock = int_bound 50 in
+      return { Codec.src; lock; payload })
+    (fun env -> Codec.encode env = Codec.encode_legacy env)
+
+(* {2 Writer reuse}
+
+   One writer across a stream of frames — reset between frames must make
+   it equivalent to a fresh writer every time, including after internal
+   growth. *)
+
+let prop_writer_reset_reuse =
+  Q.Test.make ~name:"writer reset reuse across frames" ~count:100
+    Q.Gen.(list_size (int_bound 20) gen_envelope)
+    (fun envs ->
+      let w = Buf.writer ~capacity:8 () in
+      List.for_all
+        (fun env ->
+          Buf.reset w;
+          Codec.write_envelope w env;
+          let via_reuse = Bytes.create (Buf.length w) in
+          Buf.blit w via_reuse 0;
+          Bytes.to_string via_reuse = Codec.encode env)
+        envs)
+
+(* {2 Skim and decode_sub agree with decode}
+
+   The skim path must accept exactly what the decoder accepts — on the
+   whole frame and on every proper prefix — and [decode_sub] must honor
+   its slice bounds. *)
+
+let skims s =
+  match Codec.skim_envelope (Buf.reader s) with () -> true | exception Buf.Malformed _ -> false
+
+let decodes s =
+  match Codec.decode s with _ -> true | exception Buf.Malformed _ -> false
+
+let prop_skim_equiv_decode =
+  Q.Test.make ~name:"skim accepts iff decode accepts (all prefixes)" ~count:200 gen_envelope
+    (fun env ->
+      let s = Codec.encode env in
+      let ok = ref (skims s && decodes s) in
+      for len = 0 to String.length s - 1 do
+        let prefix = String.sub s 0 len in
+        if skims prefix || decodes prefix then ok := false
+      done;
+      !ok)
+
+let prop_decode_sub_slices =
+  Q.Test.make ~name:"decode_sub decodes mid-buffer slices" ~count:200 gen_envelope (fun env ->
+      let s = Codec.encode env in
+      let len = String.length s in
+      (* Embed with garbage on both sides: only the slice must be read. *)
+      let b = Bytes.make (len + 7) '\xff' in
+      Bytes.blit_string s 0 b 3 len;
+      Codec.decode_sub b ~off:3 ~len = env
+      && (match Codec.decode_sub b ~off:3 ~len:(len - 1) with
+         | _ -> false
+         | exception Buf.Malformed _ -> true)
+      &&
+      match Codec.decode_sub b ~off:3 ~len:(len + 1) with
+      | _ -> false
+      | exception Buf.Malformed _ -> true)
+
 let test_naimi_roundtrip () =
   List.iter
     (fun payload ->
@@ -264,6 +382,18 @@ let () =
           qt prop_trailing_rejected;
           Alcotest.test_case "version sweep" `Quick test_version_rejected;
           Alcotest.test_case "frame via pipe" `Quick test_frame_roundtrip;
+        ] );
+      ( "flat path",
+        [
+          qt prop_request_flat_eq_legacy;
+          qt prop_grant_flat_eq_legacy;
+          qt prop_token_flat_eq_legacy;
+          qt prop_release_flat_eq_legacy;
+          qt prop_freeze_flat_eq_legacy;
+          qt prop_naimi_flat_eq_legacy;
+          qt prop_writer_reset_reuse;
+          qt prop_skim_equiv_decode;
+          qt prop_decode_sub_slices;
         ] );
       ( "buf",
         [
