@@ -257,6 +257,23 @@ let bench_wire_framed_batch =
            off := !off + 4 + len
          done))
 
+(* The transport's metrics hooks, as the runner's hot paths pay them:
+   handles resolved once at create time, then per-event atomic counter
+   increments, a gauge store, and one log-scaled histogram observation.
+   The minor-words column is the claim: the per-event path allocates
+   nothing (find-or-create runs only at registration). *)
+let bench_metrics_hook =
+  let m = Dcs_obs.Metrics.create () in
+  let c = Dcs_obs.Metrics.counter m "bench.frames" in
+  let g = Dcs_obs.Metrics.gauge m "bench.depth" in
+  let h = Dcs_obs.Metrics.histogram m "bench.latency" in
+  Test.make ~name:"metrics hook incr+set+observe"
+    (Staged.stage (fun () ->
+         Dcs_obs.Metrics.incr c;
+         Dcs_obs.Metrics.add c 17;
+         Dcs_obs.Metrics.set g 42.0;
+         Dcs_obs.Metrics.observe h 3.5))
+
 (* 100 messages through the reliable-delivery shim over a clean 1 ms
    link: the per-message cost of the seq/ack/dedup machinery alone. *)
 let bench_reliable_shim =
@@ -294,6 +311,7 @@ let all =
     bench_wire_skim;
     bench_wire_decode;
     bench_wire_framed_batch;
+    bench_metrics_hook;
     bench_reliable_shim;
   ]
 

@@ -22,7 +22,7 @@ let build_config ~nodes ~ops ~entries ~seed =
     workload = { cfg.Experiment.workload with Dcs_workload.Airline.entries; ops_per_node = ops };
   }
 
-let run_plan ~cfg ~period ~name =
+let run_plan ~cfg ~period ~name ~events =
   let horizon = Experiment.horizon_estimate cfg in
   let plan =
     match Plan.named ~nodes:cfg.Experiment.nodes ~horizon name with
@@ -33,10 +33,12 @@ let run_plan ~cfg ~period ~name =
   in
   let cfg = { cfg with Experiment.chaos = Some (Experiment.chaos ~audit_period:period plan) } in
   let trace = Dcs_sim.Trace.create ~capacity:64 ~enabled:true () in
-  (* Metrics-only recorder: latency histograms and message accounting
-     without the per-event log (soaks are long). Recording is
-     observation-only, so --verify digests are unaffected. *)
-  let recorder = Dcs_obs.Recorder.create ~events:false ~enabled:true () in
+  (* Metrics-only recorder by default: latency histograms and message
+     accounting without the per-event log (soaks are long). With
+     --telemetry the full event log is kept so the per-plan JSONL shard
+     has spans to analyze. Recording is observation-only either way, so
+     --verify digests are unaffected. *)
+  let recorder = Dcs_obs.Recorder.create ~events ~enabled:true () in
   let result = Experiment.run ~trace ~recorder cfg in
   (result, plan, Dcs_sim.Trace.digest trace, recorder)
 
@@ -109,7 +111,22 @@ let report ~name ~cfg ~plan ~result ~digest ~recorder =
   Printf.printf "digest    : %Lx\n\n" digest;
   rep.Experiment.audit_violations = []
 
-let main plans nodes ops entries seed period quick verify jobs =
+let write_shard ~dir ~name ~cfg ~result ~recorder =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = Filename.concat dir (name ^ ".jsonl") in
+  let oc = open_out path in
+  Dcs_obs.Jsonl.write oc
+    ~meta:
+      [
+        ("plan", name);
+        ("nodes", string_of_int cfg.Experiment.nodes);
+        ("seed", Int64.to_string cfg.Experiment.seed);
+      ]
+    ~counters:result.Experiment.messages recorder;
+  close_out oc;
+  Printf.printf "telemetry : %s\n" path
+
+let main plans nodes ops entries seed period quick verify jobs telemetry_dir =
   let quick = quick || Sys.getenv_opt "CHAOS_QUICK" <> None in
   let nodes = if quick then min nodes 12 else nodes in
   let ops = if quick then min ops 12 else ops in
@@ -129,10 +146,11 @@ let main plans nodes ops entries seed period quick verify jobs =
     Dcs_netkit.Parallel.map ~jobs
       (fun name ->
         let cfg = build_config ~nodes ~ops ~entries ~seed in
-        let result, plan, digest, recorder = run_plan ~cfg ~period ~name in
+        let events = telemetry_dir <> None in
+        let result, plan, digest, recorder = run_plan ~cfg ~period ~name ~events in
         let verified =
           if verify then
-            let _, _, digest', _ = run_plan ~cfg ~period ~name in
+            let _, _, digest', _ = run_plan ~cfg ~period ~name ~events:false in
             Some digest'
           else None
         in
@@ -143,6 +161,9 @@ let main plans nodes ops entries seed period quick verify jobs =
   Array.iter
     (fun (name, cfg, result, plan, digest, recorder, verified) ->
       if not (report ~name ~cfg ~plan ~result ~digest ~recorder) then ok := false;
+      Option.iter
+        (fun dir -> write_shard ~dir ~name ~cfg ~result ~recorder)
+        telemetry_dir;
       match verified with
       | None -> ()
       | Some digest' ->
@@ -187,12 +208,21 @@ let jobs_arg =
           "Worker domains; each fault plan soaks in its own domain. Results are \
            identical for every value.")
 
+let telemetry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"DIR"
+        ~doc:
+          "Keep the full per-event log and write one dcs-obs/2 JSONL shard per plan to \
+           DIR/<plan>.jsonl (analyzable with dcs-trace analyze). Costs memory on long soaks.")
+
 let () =
   let doc = "Chaos soaks for the hierarchical locking protocol: fault plans + invariant audit." in
   let info = Cmd.info "dcs-chaos" ~version:"1.0.0" ~doc in
   let term =
     Term.(
       const main $ plans_arg $ nodes_arg $ ops_arg $ entries_arg $ seed_arg $ period_arg
-      $ quick_flag $ verify_flag $ jobs_arg)
+      $ quick_flag $ verify_flag $ jobs_arg $ telemetry_arg)
   in
   exit (Cmd.eval' (Cmd.v info term))

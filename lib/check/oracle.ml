@@ -161,8 +161,10 @@ let conformance ?(max_overtakes = 100) ?(require_complete = true) ~events () =
     (fun (e : Event.t) ->
       incr n_events;
       incr idx;
-      if not (Event.is_node_event e.kind) then begin
-        let key = (e.lock, e.requester, e.seq) in
+      match e.scope with
+      | Event.Node -> ()
+      | Event.Span { requester; seq } -> begin
+        let key = (e.lock, requester, seq) in
         let sp = Hashtbl.find_opt spans key in
         match e.kind with
         | Event.Requested { mode; priority } -> (
@@ -211,7 +213,7 @@ let conformance ?(max_overtakes = 100) ?(require_complete = true) ~events () =
                             violate
                               "lock %d: incompatible concurrent grants: node %d seq %d \
                                %s with node %d seq %d %s"
-                              e.lock e.requester e.seq (Mode.to_string mode)
+                              e.lock requester seq (Mode.to_string mode)
                               (let _, r, _ = okey in
                                r)
                               (let _, _, s = okey in
@@ -275,7 +277,7 @@ let conformance ?(max_overtakes = 100) ?(require_complete = true) ~events () =
                 Hashtbl.remove (active_for e.lock) key
             | Some _ -> violate "%s: release of a span that is not granted" (span_name key)
             | None -> violate "%s: release without a request" (span_name key))
-        | Event.Forwarded _ | Event.Queued -> ()
+        | Event.Forwarded _ | Event.Queued | Event.Sent _ | Event.Received _ -> ()
         | Event.Frozen _ | Event.Unfrozen _ -> ()
       end)
     events;

@@ -31,7 +31,7 @@ type t = {
   on_upgraded : int -> unit;
   (* Telemetry hook ({!Dcs_obs}): the embedding fills in time/lock/node.
      [None] costs one branch per lifecycle site and allocates nothing. *)
-  obs : (requester:Node_id.t -> seq:int -> Dcs_obs.Event.kind -> unit) option;
+  obs : (Dcs_obs.Event.scope -> Dcs_obs.Event.kind -> unit) option;
   mutable token : bool;
   mutable parent : Node_id.t option;
   mutable parent_stamp : int;  (* token-tenure knowledge when [parent] was set *)
@@ -235,10 +235,9 @@ let set_frozen t next =
   | Some f ->
       let added = Mode_set.diff next prev in
       let removed = Mode_set.diff prev next in
-      if not (Mode_set.is_empty added) then
-        f ~requester:(-1) ~seq:(-1) (Dcs_obs.Event.Frozen added);
+      if not (Mode_set.is_empty added) then f Dcs_obs.Event.Node (Dcs_obs.Event.Frozen added);
       if not (Mode_set.is_empty removed) then
-        f ~requester:(-1) ~seq:(-1) (Dcs_obs.Event.Unfrozen removed)
+        f Dcs_obs.Event.Node (Dcs_obs.Event.Unfrozen removed)
 
 (* Drop cached (unheld) modes that conflict with [m]; returns true if any
    were dropped. A cache is a convenience copy — any conflicting request
@@ -457,7 +456,8 @@ let grant_self ?(via_token = false) t (r : Msg.request) =
   (match t.obs with
   | None -> ()
   | Some f ->
-      f ~requester:r.requester ~seq:r.seq
+      f
+        (Dcs_obs.Event.Span { requester = r.requester; seq = r.seq })
         (if via_token then Dcs_obs.Event.Granted_token { mode = r.mode; hops = r.hops }
          else Dcs_obs.Event.Granted_local { mode = r.mode; hops = r.hops }));
   t.on_granted r
@@ -467,7 +467,8 @@ let complete_upgrade t (r : Msg.request) =
   if Hashtbl.mem t.held r.seq then held_add t r.seq Mode.W;
   (match t.obs with
   | None -> ()
-  | Some f -> f ~requester:r.requester ~seq:r.seq Dcs_obs.Event.Upgraded);
+  | Some f ->
+      f (Dcs_obs.Event.Span { requester = r.requester; seq = r.seq }) Dcs_obs.Event.Upgraded);
   t.on_upgraded r.seq
 
 (* Copy grant (Rule 3): adopt the requester as a child at (at least) the
@@ -544,7 +545,7 @@ let enqueue t (r : Msg.request) =
   t.queue <- Msg.insert_by_service_order r t.queue;
   (match t.obs with
   | None -> ()
-  | Some f -> f ~requester:r.requester ~seq:r.seq Dcs_obs.Event.Queued);
+  | Some f -> f (Dcs_obs.Event.Span { requester = r.requester; seq = r.seq }) Dcs_obs.Event.Queued);
   refresh_freezes t
 
 (* Global diagnostic counters (reset by tests/benches as needed). *)
@@ -613,7 +614,10 @@ let forward_onward ?via t (r : Msg.request) =
          t.pending_trail <- Some p);
       (match t.obs with
       | None -> ()
-      | Some f -> f ~requester:r.Msg.requester ~seq:r.Msg.seq (Dcs_obs.Event.Forwarded { dst = p }));
+      | Some f ->
+          f
+            (Dcs_obs.Event.Span { requester = r.Msg.requester; seq = r.Msg.seq })
+            (Dcs_obs.Event.Forwarded { dst = p }));
       emit t p (Msg.Request r)
   | None -> assert false
 
@@ -929,7 +933,8 @@ let request ?(priority = 0) t ~mode =
   in
   (match t.obs with
   | None -> ()
-  | Some f -> f ~requester:t.id ~seq (Dcs_obs.Event.Requested { mode; priority }));
+  | Some f ->
+      f (Dcs_obs.Event.Span { requester = t.id; seq }) (Dcs_obs.Event.Requested { mode; priority }));
   handle_request t r;
   seq
 
@@ -939,7 +944,8 @@ let release t ~seq =
   | Some m ->
       (match t.obs with
       | None -> ()
-      | Some f -> f ~requester:t.id ~seq (Dcs_obs.Event.Released { mode = m }));
+      | Some f ->
+          f (Dcs_obs.Event.Span { requester = t.id; seq }) (Dcs_obs.Event.Released { mode = m }));
       if t.config.caching && not (is_frozen t m) then t.cached <- Mode_set.add m t.cached;
       after_owned_change t
 
@@ -965,7 +971,10 @@ let upgrade t ~seq =
       (* The upgrade re-opens the held instance's span as a W request. *)
       (match t.obs with
       | None -> ()
-      | Some f -> f ~requester:t.id ~seq (Dcs_obs.Event.Requested { mode = Mode.W; priority = 0 }));
+      | Some f ->
+          f
+            (Dcs_obs.Event.Span { requester = t.id; seq })
+            (Dcs_obs.Event.Requested { mode = Mode.W; priority = 0 }));
       ignore (revoke_conflicting t Mode.W);
       let mo = owned_code_for t r in
       if Decision.token_can_grant ~owned:mo Mode.W then begin

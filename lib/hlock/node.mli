@@ -103,13 +103,13 @@ type t
     [on_upgraded seq] when a local U→W upgrade completes.
 
     [obs], when given, receives every request-lifecycle event this node
-    produces ({!Dcs_obs.Event.kind}); the embedding supplies time, lock and
-    node identity when it records. [requester]/[seq] identify the span
-    ([-1]/[-1] for frozen-set node events). When absent, instrumentation
-    costs one branch per site and allocates nothing. *)
+    produces ({!Dcs_obs.Event.scope} and [kind]); the embedding supplies
+    time, lock and node identity when it records. Request events carry
+    [Span {requester; seq}]; frozen-set events carry [Node]. When absent,
+    instrumentation costs one branch per site and allocates nothing. *)
 val create :
   ?config:config ->
-  ?obs:(requester:Node_id.t -> seq:int -> Dcs_obs.Event.kind -> unit) ->
+  ?obs:(Dcs_obs.Event.scope -> Dcs_obs.Event.kind -> unit) ->
   id:Node_id.t ->
   peers:int ->
   is_token:bool ->

@@ -16,7 +16,7 @@ type t = {
   id : Node_id.t;
   send : dst:Node_id.t -> msg -> unit;
   on_acquired : unit -> unit;
-  obs : (requester:Node_id.t -> seq:int -> Dcs_obs.Event.kind -> unit) option;
+  obs : (Dcs_obs.Event.scope -> Dcs_obs.Event.kind -> unit) option;
   mutable father : Node_id.t option;
   mutable next : Node_id.t option;
   mutable token_present : bool;
@@ -49,7 +49,7 @@ let pp_state ppf t =
 
 (* Naimi locks are exclusive: telemetry records them as mode W. *)
 let observe t ~requester ~seq kind =
-  match t.obs with None -> () | Some f -> f ~requester ~seq kind
+  match t.obs with None -> () | Some f -> f (Dcs_obs.Event.Span { requester; seq }) kind
 
 let request t =
   if t.requesting || t.in_cs then invalid_arg "Naimi.request: already requesting or in CS";
@@ -57,18 +57,14 @@ let request t =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   t.active <- seq;
-  (match t.obs with
-  | None -> ()
-  | Some f -> f ~requester:t.id ~seq (Dcs_obs.Event.Requested { mode = Dcs_modes.Mode.W; priority = 0 }));
+  observe t ~requester:t.id ~seq (Dcs_obs.Event.Requested { mode = Dcs_modes.Mode.W; priority = 0 });
   match t.father with
   | None ->
       (* We are the root holding an idle token: enter immediately. *)
       assert t.token_present;
       t.in_cs <- true;
-      (match t.obs with
-      | None -> ()
-      | Some f ->
-          f ~requester:t.id ~seq (Dcs_obs.Event.Granted_local { mode = Dcs_modes.Mode.W; hops = 0 }));
+      observe t ~requester:t.id ~seq
+        (Dcs_obs.Event.Granted_local { mode = Dcs_modes.Mode.W; hops = 0 });
       t.on_acquired ()
   | Some f ->
       t.send ~dst:f (Request { requester = t.id; seq });
@@ -93,11 +89,8 @@ let handle_msg t ~src:_ msg =
       assert t.requesting;
       t.token_present <- true;
       t.in_cs <- true;
-      (match t.obs with
-      | None -> ()
-      | Some f ->
-          f ~requester:t.id ~seq:t.active
-            (Dcs_obs.Event.Granted_token { mode = Dcs_modes.Mode.W; hops = 0 }));
+      observe t ~requester:t.id ~seq:t.active
+        (Dcs_obs.Event.Granted_token { mode = Dcs_modes.Mode.W; hops = 0 });
       t.on_acquired ()
   | Request { requester; seq } -> (
       match t.father with

@@ -45,7 +45,7 @@ type t
     {!Dcs_hlock.Node.create}; Naimi requests are recorded as mode-[W]
     spans (the lock is exclusive). *)
 val create :
-  ?obs:(requester:Node_id.t -> seq:int -> Dcs_obs.Event.kind -> unit) ->
+  ?obs:(Dcs_obs.Event.scope -> Dcs_obs.Event.kind -> unit) ->
   id:Node_id.t ->
   is_root:bool ->
   father:Node_id.t option ->

@@ -1,6 +1,8 @@
 module Node = Dcs_hlock.Node
 module Codec = Dcs_wire.Codec
 module Buf = Dcs_wire.Buf
+module Metrics = Dcs_obs.Metrics
+module Mode = Dcs_modes.Mode
 
 let src_log = Logs.Src.create "dcs.netkit" ~doc:"TCP cluster runner"
 
@@ -29,6 +31,25 @@ type t = {
   outbounds : (int, outbound) Hashtbl.t;  (* peer id -> writer state *)
   outbound_lock : Mutex.t;
   kick_interval : float;
+  telemetry : Dcs_obs.Shard.t option;
+  (* Live transport metrics ({!Dcs_obs.Metrics}): the handles are looked
+     up once here so hot-path updates are a single atomic op. *)
+  metrics : Metrics.t;
+  m_frames_sent : Metrics.counter;
+  m_bytes_sent : Metrics.counter;
+  m_batches : Metrics.counter;
+  m_partial_requeues : Metrics.counter;
+  m_connects : Metrics.counter;
+  m_reconnects : Metrics.counter;
+  m_connect_retries : Metrics.counter;
+  m_dropped : Metrics.counter;
+  m_decode_errors : Metrics.counter;
+  m_frames_received : Metrics.counter;
+  m_bytes_received : Metrics.counter;
+  m_backoff : Metrics.gauge;
+  m_queue_depth : Metrics.gauge;
+  m_grants : Metrics.counter array;  (* per Mode.index *)
+  m_upgrades : Metrics.counter;
   mutable listener : Unix.file_descr option;
   mutable running : bool;
   mutable threads : Thread.t list;
@@ -37,6 +58,74 @@ type t = {
 let id t = t.self
 
 let counters t = t.counters
+
+let metrics t = t.metrics
+
+type stats = {
+  frames_sent : int;
+  bytes_sent : int;
+  batches : int;
+  partial_requeues : int;
+  connects : int;
+  reconnects : int;
+  connect_retries : int;
+  backoff_ms : float;
+  queued_frames : int;
+  dropped_frames : int;
+  decode_errors : int;
+  frames_received : int;
+  bytes_received : int;
+}
+
+let queued_frames t =
+  Mutex.lock t.outbound_lock;
+  let n = Hashtbl.fold (fun _ out acc -> acc + Queue.length out.queue) t.outbounds 0 in
+  Mutex.unlock t.outbound_lock;
+  n
+
+let stats t =
+  {
+    frames_sent = Metrics.value t.m_frames_sent;
+    bytes_sent = Metrics.value t.m_bytes_sent;
+    batches = Metrics.value t.m_batches;
+    partial_requeues = Metrics.value t.m_partial_requeues;
+    connects = Metrics.value t.m_connects;
+    reconnects = Metrics.value t.m_reconnects;
+    connect_retries = Metrics.value t.m_connect_retries;
+    backoff_ms = Metrics.gauge_value t.m_backoff;
+    queued_frames = queued_frames t;
+    dropped_frames = Metrics.value t.m_dropped;
+    decode_errors = Metrics.value t.m_decode_errors;
+    frames_received = Metrics.value t.m_frames_received;
+    bytes_received = Metrics.value t.m_bytes_received;
+  }
+
+(* The span id a wire message belongs to, if it carries one. Release and
+   Freeze messages are span-less bookkeeping. *)
+let span_of_msg (msg : Dcs_hlock.Msg.t) =
+  match msg with
+  | Request r -> Some (r.requester, r.seq)
+  | Grant { req; _ } -> Some (req.requester, req.seq)
+  | Token { serving; _ } -> Some (serving.requester, serving.seq)
+  | Release _ | Freeze _ -> None
+
+(* Shard accounting for one frame that fully reached the kernel:
+   per-class count/bytes, plus a Sent span event for causal alignment. *)
+let record_written t ~dst (env : Codec.envelope) ~payload_bytes =
+  match t.telemetry with
+  | None -> ()
+  | Some sh -> (
+      match env.Codec.payload with
+      | Codec.Hlock msg -> (
+          let cls = Dcs_hlock.Msg.class_of msg in
+          Dcs_obs.Shard.message sh ~cls ~bytes:payload_bytes;
+          match span_of_msg msg with
+          | Some (requester, seq) ->
+              Dcs_obs.Shard.event sh ~lock:env.Codec.lock ~node:t.self
+                (Dcs_obs.Event.Span { requester; seq })
+                (Dcs_obs.Event.Sent { cls; dst })
+          | None -> ())
+      | Codec.Naimi _ -> ())
 
 (* {1 Outbound connections: one writer thread per peer}
 
@@ -67,6 +156,7 @@ let writer_loop t peer_id out =
   let peer = Cluster_config.peer t.config peer_id in
   let wbuf = Buf.writer ~capacity:8192 () in
   let drained = Queue.create () in  (* drained from out.queue, not yet on the wire *)
+  let connected_before = ref false in
   let connect () =
     (* Retry while the runner lives: outbound frames wait in the queue
        instead of being dropped. *)
@@ -84,8 +174,15 @@ let writer_loop t peer_id out =
              (try Unix.close sock with _ -> ());
              raise e)
         with
-        | sock -> Some sock
+        | sock ->
+            Metrics.incr t.m_connects;
+            if !connected_before then Metrics.incr t.m_reconnects;
+            connected_before := true;
+            Metrics.set t.m_backoff 0.0;
+            Some sock
         | exception _ ->
+            Metrics.incr t.m_connect_retries;
+            Metrics.set t.m_backoff (delay *. 1000.0);
             if attempts > 0 && attempts mod 50 = 0 then
               Log.warn (fun m ->
                   m "writer to %d: still unreachable after %d attempts" peer_id attempts);
@@ -107,8 +204,10 @@ let writer_loop t peer_id out =
         Mutex.lock t.outbound_lock;
         let dropped = Queue.length drained + Queue.length out.queue in
         Mutex.unlock t.outbound_lock;
-        if dropped > 0 then
+        if dropped > 0 then begin
+          Metrics.add t.m_dropped dropped;
           Log.err (fun m -> m "writer to %d: shut down with %d frame(s) unsent" peer_id dropped)
+        end
     | Some fd -> pump fd
   and pump fd =
     if Queue.is_empty drained then begin
@@ -135,9 +234,31 @@ let writer_loop t peer_id out =
         Buf.patch_u32_be wbuf ~at (Buf.length wbuf - at - 4);
         batch := (env, Buf.length wbuf) :: !batch
       done;
+      (* Account frames the kernel fully accepted (all of them on Ok; the
+         prefix up to [written] on a partial write). Per-frame payload size
+         falls out of consecutive end offsets minus the 4-byte prefix. *)
+      let account written frames =
+        Metrics.incr t.m_batches;
+        let sent, bytes =
+          List.fold_left
+            (fun (n, start) ((env : Codec.envelope), fin) ->
+              if fin <= written then begin
+                record_written t ~dst:peer_id env ~payload_bytes:(fin - start - 4);
+                (n + 1, fin)
+              end
+              else (n, start))
+            (0, 0) frames
+        in
+        Metrics.add t.m_frames_sent sent;
+        Metrics.add t.m_bytes_sent bytes
+      in
       match write_all fd (Buf.unsafe_bytes wbuf) (Buf.length wbuf) with
-      | Ok () -> pump fd
+      | Ok () ->
+          account (Buf.length wbuf) (List.rev !batch);
+          pump fd
       | Error (written, e) ->
+          account written (List.rev !batch);
+          Metrics.incr t.m_partial_requeues;
           let unsent = List.rev (List.filter (fun (_, fin) -> fin > written) !batch) in
           requeue (List.map fst unsent);
           Log.err (fun m ->
@@ -176,11 +297,13 @@ let send_env t ~dst env =
 
 (* {1 Node construction} *)
 
-let create ?(protocol = Node.default_config) ?(kick_interval = 1.0) ~config ~self () =
+let create ?(protocol = Node.default_config) ?(kick_interval = 1.0) ?telemetry ~config ~self () =
   let n = Cluster_config.size config in
   if self < 0 || self >= n then invalid_arg "Runner.create: self out of range";
   if kick_interval <= 0.0 then invalid_arg "Runner.create: kick_interval must be positive";
   let locks = config.Cluster_config.locks in
+  let metrics = Metrics.create () in
+  let c name = Metrics.counter metrics name and g name = Metrics.gauge metrics name in
   let t =
     {
       config;
@@ -196,6 +319,24 @@ let create ?(protocol = Node.default_config) ?(kick_interval = 1.0) ~config ~sel
       outbounds = Hashtbl.create 8;
       outbound_lock = Mutex.create ();
       kick_interval;
+      telemetry;
+      metrics;
+      m_frames_sent = c "net.frames_sent";
+      m_bytes_sent = c "net.bytes_sent";
+      m_batches = c "net.batches";
+      m_partial_requeues = c "net.partial_requeues";
+      m_connects = c "net.connects";
+      m_reconnects = c "net.reconnects";
+      m_connect_retries = c "net.connect_retries";
+      m_dropped = c "net.dropped_frames";
+      m_decode_errors = c "net.decode_errors";
+      m_frames_received = c "net.frames_received";
+      m_bytes_received = c "net.bytes_received";
+      m_backoff = g "net.backoff_ms";
+      m_queue_depth = g "net.outbound_queue_depth";
+      m_grants =
+        Array.of_list (List.map (fun m -> c ("grants." ^ Mode.to_string m)) Mode.all);
+      m_upgrades = c "grants.upgrades";
       listener = None;
       running = false;
       threads = [];
@@ -224,7 +365,20 @@ let create ?(protocol = Node.default_config) ?(kick_interval = 1.0) ~config ~sel
               cb ()
           | None -> Hashtbl.replace t.upgraded_fired.(lock) seq ()
         in
-        Node.create ~config:protocol ~id:self ~peers:n ~is_token:(self = 0)
+        (* Engine lifecycle hook: grant-mix counters always (the analyzer
+           cross-checks them against merged spans), full event stream to
+           the shard when one is attached. *)
+        let obs scope kind =
+          (match kind with
+          | Dcs_obs.Event.Granted_local { mode; _ } | Dcs_obs.Event.Granted_token { mode; _ } ->
+              Metrics.incr t.m_grants.(Mode.index mode)
+          | Dcs_obs.Event.Upgraded -> Metrics.incr t.m_upgrades
+          | _ -> ());
+          match t.telemetry with
+          | Some sh -> Dcs_obs.Shard.event sh ~lock ~node:self scope kind
+          | None -> ()
+        in
+        Node.create ~config:protocol ~obs ~id:self ~peers:n ~is_token:(self = 0)
           ~parent:(if self = 0 then None else Some 0)
           ~send ~on_granted ~on_upgraded ())
   in
@@ -276,7 +430,10 @@ let reader_loop t fd =
           lor (Char.code (Bytes.get header 2) lsl 8)
           lor Char.code (Bytes.get header 3)
         in
-        if len > Codec.max_frame then Log.err (fun m -> m "oversized frame (%d bytes)" len)
+        if len > Codec.max_frame then begin
+          Metrics.incr t.m_decode_errors;
+          Log.err (fun m -> m "oversized frame (%d bytes)" len)
+        end
         else begin
           if Bytes.length !body < len then begin
             let cap = ref (2 * Bytes.length !body) in
@@ -290,9 +447,28 @@ let reader_loop t fd =
           | () -> (
               match Codec.decode_sub !body ~off:0 ~len with
               | env ->
+                  Metrics.incr t.m_frames_received;
+                  Metrics.add t.m_bytes_received len;
+                  (* The Received event must precede the events dispatch
+                     produces, so the span's merged timeline orders the
+                     arrival before its consequences. *)
+                  (match t.telemetry with
+                  | Some sh -> (
+                      match env.Codec.payload with
+                      | Codec.Hlock msg -> (
+                          match span_of_msg msg with
+                          | Some (requester, seq) ->
+                              Dcs_obs.Shard.event sh ~lock:env.Codec.lock ~node:t.self
+                                (Dcs_obs.Event.Span { requester; seq })
+                                (Dcs_obs.Event.Received
+                                   { cls = Dcs_hlock.Msg.class_of msg; src = env.Codec.src })
+                          | None -> ())
+                      | Codec.Naimi _ -> ())
+                  | None -> ());
                   dispatch t env;
                   go ()
               | exception Dcs_wire.Buf.Malformed reason ->
+                  Metrics.incr t.m_decode_errors;
                   Log.err (fun m -> m "malformed frame: %s" reason))
         end
   in
@@ -315,7 +491,9 @@ let kick_loop t =
         Mutex.lock t.stripes.(lock);
         Node.with_send_batch node (fun () -> Node.kick node);
         Mutex.unlock t.stripes.(lock))
-      t.nodes
+      t.nodes;
+    Metrics.set t.m_queue_depth (float_of_int (queued_frames t));
+    match t.telemetry with Some sh -> Dcs_obs.Shard.snapshot sh t.metrics | None -> ()
   done
 
 let start t =
@@ -385,7 +563,18 @@ let stop t =
         out.alive <- false;
         Condition.broadcast out.cond)
       t.outbounds;
-    Mutex.unlock t.outbound_lock
+    Mutex.unlock t.outbound_lock;
+    (* Closing shard lines: a final metrics snapshot, the per-class frame
+       accounting, and the authoritative queued-message counters the
+       analyzer cross-checks against. The creator still owns the shard
+       and closes it. *)
+    match t.telemetry with
+    | Some sh ->
+        Metrics.set t.m_queue_depth (float_of_int (queued_frames t));
+        Dcs_obs.Shard.snapshot sh t.metrics;
+        Dcs_obs.Shard.write_msgs sh;
+        Dcs_obs.Shard.write_counters sh (Dcs_proto.Counters.to_list t.counters)
+    | None -> ()
   end
 
 (* {1 Client API} *)

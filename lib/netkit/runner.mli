@@ -35,10 +35,18 @@ type t
     [kick_interval] (seconds, default 1.0, must be positive) is the period
     of the custody-kick watchdog: lower it to the order of a few network
     round trips for latency-sensitive deployments, raise it to quiet
-    idle clusters. *)
+    idle clusters.
+
+    [telemetry], when given, streams this node's [dcs-obs/2] shard: every
+    engine lifecycle event, a [Sent]/[Received] transport event per
+    span-carrying frame (the causal edges [dcs-trace analyze] aligns
+    clocks with), per-class frame accounting, periodic {!Dcs_obs.Metrics}
+    snapshots (each kick), and closing [msgs]/[counters] lines at {!stop}.
+    The caller keeps ownership and closes the shard after {!stop}. *)
 val create :
   ?protocol:Dcs_hlock.Node.config ->
   ?kick_interval:float ->
+  ?telemetry:Dcs_obs.Shard.t ->
   config:Cluster_config.t ->
   self:int ->
   unit ->
@@ -78,3 +86,30 @@ val counters : t -> Dcs_proto.Counters.t
 
 (** This node's id. *)
 val id : t -> int
+
+(** {1 Runtime observability} *)
+
+(** The live metrics registry ([net.*] transport counters and gauges,
+    [grants.*] grant-mix counters). Shared with the telemetry shard's
+    periodic snapshots. *)
+val metrics : t -> Dcs_obs.Metrics.t
+
+(** A point-in-time view of the transport, queryable while running — the
+    stop-time log line is no longer the only way to see drops. *)
+type stats = {
+  frames_sent : int;  (** frames fully handed to the kernel *)
+  bytes_sent : int;  (** wire bytes of those frames (prefix included) *)
+  batches : int;  (** batched writes attempted *)
+  partial_requeues : int;  (** failed writes that requeued unsent frames *)
+  connects : int;  (** successful outbound connections *)
+  reconnects : int;  (** connects that replaced an earlier session *)
+  connect_retries : int;  (** failed connection attempts *)
+  backoff_ms : float;  (** current reconnect backoff (0 when connected) *)
+  queued_frames : int;  (** frames waiting in outbound queues now *)
+  dropped_frames : int;  (** frames abandoned at shutdown *)
+  decode_errors : int;  (** malformed or oversized inbound frames *)
+  frames_received : int;
+  bytes_received : int;  (** payload bytes decoded *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,25 @@
+(** Monotonic time sources for telemetry, in milliseconds.
+
+    A clock is just [unit -> float]: the simulator passes its own
+    simulation-time closure ([fun () -> Net.now net]), real transports use
+    {!wall}. Everything downstream ({!Shard}, {!Metrics} snapshots, the
+    [dcs-trace] analyzer) only ever sees the one interface, so sim-time
+    and wall-clock telemetry share every code path. *)
+
+(** Returns the current time in milliseconds. Must be monotonically
+    non-decreasing per process. *)
+type t = unit -> float
+
+(** Wall clock: milliseconds since the Unix epoch, clamped monotonic
+    (a backwards OS clock step repeats the last value instead of
+    regressing). Shards of one machine therefore start out roughly
+    aligned; cross-machine shards rely on the analyzer's causal
+    alignment. *)
+val wall : unit -> t
+
+(** Adapt any millisecond source (e.g. simulation time). *)
+val of_fun : (unit -> float) -> t
+
+(** [manual start] is a hand-advanced clock for tests: the setter moves
+    time forward (never backwards). *)
+val manual : float -> t * (float -> unit)

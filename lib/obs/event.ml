@@ -9,17 +9,14 @@ type kind =
   | Granted_token of { mode : Mode.t; hops : int }
   | Upgraded
   | Released of { mode : Mode.t }
+  | Sent of { cls : Msg_class.t; dst : Node_id.t }
+  | Received of { cls : Msg_class.t; src : Node_id.t }
   | Frozen of Mode_set.t
   | Unfrozen of Mode_set.t
 
-type t = {
-  time : float;
-  lock : int;
-  node : Node_id.t;
-  requester : Node_id.t;
-  seq : int;
-  kind : kind;
-}
+type scope = Span of { requester : Node_id.t; seq : int } | Node
+
+type t = { time : float; lock : int; node : Node_id.t; scope : scope; kind : kind }
 
 let kind_name = function
   | Requested _ -> "requested"
@@ -29,10 +26,12 @@ let kind_name = function
   | Granted_token _ -> "granted-token"
   | Upgraded -> "upgraded"
   | Released _ -> "released"
+  | Sent _ -> "sent"
+  | Received _ -> "received"
   | Frozen _ -> "frozen"
   | Unfrozen _ -> "unfrozen"
 
-let is_node_event = function Frozen _ | Unfrozen _ -> true | _ -> false
+let is_node_event t = t.scope = Node
 
 let is_grant = function Granted_local _ | Granted_token _ -> true | _ -> false
 
@@ -46,12 +45,14 @@ let pp_kind ppf = function
   | Granted_token { mode; hops } -> Format.fprintf ppf "granted-token %a hops=%d" Mode.pp mode hops
   | Upgraded -> Format.pp_print_string ppf "upgraded"
   | Released { mode } -> Format.fprintf ppf "released %a" Mode.pp mode
+  | Sent { cls; dst } -> Format.fprintf ppf "sent %s ->n%d" (Msg_class.to_string cls) dst
+  | Received { cls; src } -> Format.fprintf ppf "received %s <-n%d" (Msg_class.to_string cls) src
   | Frozen s -> Format.fprintf ppf "frozen %a" Mode_set.pp s
   | Unfrozen s -> Format.fprintf ppf "unfrozen %a" Mode_set.pp s
 
 let pp ppf t =
-  if is_node_event t.kind then
-    Format.fprintf ppf "[%10.3f] lock%d n%d %a" t.time t.lock t.node pp_kind t.kind
-  else
-    Format.fprintf ppf "[%10.3f] lock%d n%d {n%d#%d} %a" t.time t.lock t.node t.requester t.seq
-      pp_kind t.kind
+  match t.scope with
+  | Node -> Format.fprintf ppf "[%10.3f] lock%d n%d %a" t.time t.lock t.node pp_kind t.kind
+  | Span { requester; seq } ->
+      Format.fprintf ppf "[%10.3f] lock%d n%d {n%d#%d} %a" t.time t.lock t.node requester seq
+        pp_kind t.kind

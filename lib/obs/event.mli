@@ -6,9 +6,10 @@
     Naimi baseline's request/seq pair), so events emitted at different nodes
     stitch into one causal timeline without extra wire state.
 
-    Events split into {e span events} (carry a requester/seq) and
-    {e node events} ([Frozen]/[Unfrozen], which describe a node's frozen
-    mode set; their requester/seq are [-1]). *)
+    Events split by {!scope}: {e span events} ([Span {requester; seq}])
+    belong to one request's timeline; {e node events} ([Node], i.e.
+    [Frozen]/[Unfrozen]) describe per-node state with no owning request.
+    The scope is an explicit constructor — there is no [-1] sentinel. *)
 
 open Dcs_modes
 open Dcs_proto
@@ -29,26 +30,35 @@ type kind =
       (** granted by token transfer (Rule 3.2 operational) *)
   | Upgraded  (** a Rule-7 U→W upgrade completed on this span *)
   | Released of { mode : Mode.t }  (** the client released the instance *)
+  | Sent of { cls : Msg_class.t; dst : Node_id.t }
+      (** a protocol message for this span left [node] on the wire
+          (emitted by the TCP transport only; the simulator's virtual
+          network has no distinct send/receive instants) *)
+  | Received of { cls : Msg_class.t; src : Node_id.t }
+      (** a protocol message for this span arrived at [node] off the wire;
+          [Sent]/[Received] pairs on token-transfer edges are what the
+          analyzer's causal clock alignment keys on *)
   | Frozen of Mode_set.t  (** modes added to [node]'s frozen set (Rule 6) *)
   | Unfrozen of Mode_set.t  (** modes removed from [node]'s frozen set *)
 
-(** One recorded event. [requester]/[seq] are [-1] for node events. *)
+(** Who an event belongs to: one request's span, or the node itself. *)
+type scope = Span of { requester : Node_id.t; seq : int } | Node
+
 type t = {
-  time : float;  (** simulation time, ms *)
+  time : float;  (** clock time, ms (sim time or wall clock per source) *)
   lock : int;
   node : Node_id.t;  (** node at which the event happened *)
-  requester : Node_id.t;
-  seq : int;
+  scope : scope;
   kind : kind;
 }
 
 (** Canonical name: ["requested"], ["forwarded"], ["queued"],
     ["granted-local"], ["granted-token"], ["upgraded"], ["released"],
-    ["frozen"], ["unfrozen"]. *)
+    ["sent"], ["received"], ["frozen"], ["unfrozen"]. *)
 val kind_name : kind -> string
 
-(** [true] for [Frozen]/[Unfrozen]. *)
-val is_node_event : kind -> bool
+(** [true] iff [t.scope = Node]. *)
+val is_node_event : t -> bool
 
 (** Span events granted by either grant kind. *)
 val is_grant : kind -> bool

@@ -1,7 +1,8 @@
 open Dcs_modes
 open Dcs_proto
 
-let schema = "dcs-obs/1"
+let schema = "dcs-obs/2"
+let schema_v1 = "dcs-obs/1"
 
 (* ---------- writing ---------- *)
 
@@ -20,48 +21,66 @@ let esc s =
 
 let set_to_string s = String.concat "+" (List.map Mode.to_string (Mode_set.to_list s))
 
-(* (name, mode, integer payload, mode set) — the flat projection of
-   Event.kind that the fixed "ev" field layout carries. *)
+(* (name, mode, integer payload, mode set, message class) — the flat
+   projection of Event.kind that the fixed "ev" field layout carries. *)
 let kind_fields = function
-  | Event.Requested { mode; priority } -> ("requested", Mode.to_string mode, priority, "")
-  | Forwarded { dst } -> ("forwarded", "", dst, "")
-  | Queued -> ("queued", "", 0, "")
-  | Granted_local { mode; hops } -> ("granted-local", Mode.to_string mode, hops, "")
-  | Granted_token { mode; hops } -> ("granted-token", Mode.to_string mode, hops, "")
-  | Upgraded -> ("upgraded", "", 0, "")
-  | Released { mode } -> ("released", Mode.to_string mode, 0, "")
-  | Frozen s -> ("frozen", "", 0, set_to_string s)
-  | Unfrozen s -> ("unfrozen", "", 0, set_to_string s)
+  | Event.Requested { mode; priority } -> ("requested", Mode.to_string mode, priority, "", "")
+  | Forwarded { dst } -> ("forwarded", "", dst, "", "")
+  | Queued -> ("queued", "", 0, "", "")
+  | Granted_local { mode; hops } -> ("granted-local", Mode.to_string mode, hops, "", "")
+  | Granted_token { mode; hops } -> ("granted-token", Mode.to_string mode, hops, "", "")
+  | Upgraded -> ("upgraded", "", 0, "", "")
+  | Released { mode } -> ("released", Mode.to_string mode, 0, "", "")
+  | Sent { cls; dst } -> ("sent", "", dst, "", Msg_class.to_string cls)
+  | Received { cls; src } -> ("received", "", src, "", Msg_class.to_string cls)
+  | Frozen s -> ("frozen", "", 0, set_to_string s, "")
+  | Unfrozen s -> ("unfrozen", "", 0, set_to_string s, "")
 
-let write oc ~meta ?counters r =
+let output_meta oc meta =
   Printf.fprintf oc "{\"k\":\"meta\",\"schema\":\"%s\"" schema;
   List.iter (fun (k, v) -> Printf.fprintf oc ",\"%s\":\"%s\"" (esc k) (esc v)) meta;
-  output_string oc "}\n";
-  List.iter
-    (fun (e : Event.t) ->
-      let name, mode, arg, set = kind_fields e.kind in
-      Printf.fprintf oc
-        "{\"k\":\"ev\",\"t\":%.6f,\"lock\":%d,\"node\":%d,\"req\":%d,\"seq\":%d,\"ev\":\"%s\",\"mode\":\"%s\",\"arg\":%d,\"set\":\"%s\"}\n"
-        e.time e.lock e.node e.requester e.seq name mode arg set)
-    (Recorder.events r);
-  List.iter
-    (fun (time, name, value) ->
-      Printf.fprintf oc "{\"k\":\"gauge\",\"t\":%.6f,\"name\":\"%s\",\"value\":%.6g}\n" time
-        (esc name) value)
-    (Recorder.gauge_samples r);
-  let bytes = Recorder.msg_bytes r in
+  output_string oc "}\n"
+
+let output_event oc (e : Event.t) =
+  let name, mode, arg, set, cls = kind_fields e.kind in
+  Printf.fprintf oc "{\"k\":\"ev\",\"t\":%.6f,\"lock\":%d,\"node\":%d" e.time e.lock e.node;
+  (match e.scope with
+  | Span { requester; seq } ->
+      Printf.fprintf oc ",\"scope\":\"span\",\"req\":%d,\"seq\":%d" requester seq
+  | Node -> output_string oc ",\"scope\":\"node\"");
+  Printf.fprintf oc ",\"ev\":\"%s\",\"mode\":\"%s\",\"arg\":%d,\"set\":\"%s\"" name mode arg set;
+  if cls <> "" then Printf.fprintf oc ",\"cls\":\"%s\"" cls;
+  output_string oc "}\n"
+
+let output_gauge oc ~time ~name ~value =
+  Printf.fprintf oc "{\"k\":\"gauge\",\"t\":%.6f,\"name\":\"%s\",\"value\":%.6g}\n" time (esc name)
+    value
+
+let output_metric oc ~time ~name ~mkind ~value =
+  Printf.fprintf oc "{\"k\":\"metric\",\"t\":%.6f,\"name\":\"%s\",\"mkind\":\"%s\",\"value\":%.6g}\n"
+    time (esc name)
+    (match mkind with `Counter -> "counter" | `Gauge -> "gauge")
+    value
+
+let output_msgs oc ~counts ~bytes =
   List.iter
     (fun (cls, count) ->
       Printf.fprintf oc "{\"k\":\"msgs\",\"cls\":\"%s\",\"count\":%d,\"bytes\":%d}\n"
         (Msg_class.to_string cls) count
         (List.assoc cls bytes))
-    (Recorder.msg_counts r);
-  match counters with
-  | None -> ()
-  | Some cs ->
-      output_string oc "{\"k\":\"counters\"";
-      List.iter (fun (c, n) -> Printf.fprintf oc ",\"%s\":%d" (Msg_class.to_string c) n) cs;
-      output_string oc "}\n"
+    counts
+
+let output_counters oc cs =
+  output_string oc "{\"k\":\"counters\"";
+  List.iter (fun (c, n) -> Printf.fprintf oc ",\"%s\":%d" (Msg_class.to_string c) n) cs;
+  output_string oc "}\n"
+
+let write oc ~meta ?counters r =
+  output_meta oc meta;
+  List.iter (output_event oc) (Recorder.events r);
+  List.iter (fun (time, name, value) -> output_gauge oc ~time ~name ~value) (Recorder.gauge_samples r);
+  output_msgs oc ~counts:(Recorder.msg_counts r) ~bytes:(Recorder.msg_bytes r);
+  match counters with None -> () | Some cs -> output_counters oc cs
 
 (* ---------- parsing ---------- *)
 
@@ -69,6 +88,7 @@ type line =
   | Meta of (string * string) list
   | Ev of Event.t
   | Gauge of { time : float; name : string; value : float }
+  | Metric of { time : float; name : string; mkind : [ `Counter | `Gauge ]; value : float }
   | Msgs of { cls : Msg_class.t; count : int; bytes : int }
   | Counters of (Msg_class.t * int) list
 
@@ -190,6 +210,19 @@ let cls_of_string s =
   | Some c -> c
   | None -> bad "unknown message class %S" s
 
+(* The scope discriminator. dcs-obs/2 carries it explicitly ("scope":
+   "span"|"node"); dcs-obs/1 lines lack it, and node events are the
+   req = seq = -1 sentinel — that special case lives only here now. *)
+let scope_of fields =
+  match List.assoc_opt "scope" fields with
+  | Some (S "span") -> Event.Span { requester = iget fields "req"; seq = iget fields "seq" }
+  | Some (S "node") -> Event.Node
+  | Some (S other) -> bad "unknown scope %S" other
+  | Some (F _) -> bad "field \"scope\": expected a string"
+  | None ->
+      let requester = iget fields "req" and seq = iget fields "seq" in
+      if requester = -1 && seq = -1 then Event.Node else Event.Span { requester; seq }
+
 let typed fields =
   match sget fields "k" with
   | "meta" ->
@@ -209,6 +242,8 @@ let typed fields =
         | "granted-token" -> Granted_token { mode = mode_of fields; hops = iget fields "arg" }
         | "upgraded" -> Upgraded
         | "released" -> Released { mode = mode_of fields }
+        | "sent" -> Sent { cls = cls_of_string (sget fields "cls"); dst = iget fields "arg" }
+        | "received" -> Received { cls = cls_of_string (sget fields "cls"); src = iget fields "arg" }
         | "frozen" -> Frozen (set_of fields)
         | "unfrozen" -> Unfrozen (set_of fields)
         | other -> bad "unknown event kind %S" other
@@ -218,12 +253,19 @@ let typed fields =
           time = nget fields "t";
           lock = iget fields "lock";
           node = iget fields "node";
-          requester = iget fields "req";
-          seq = iget fields "seq";
+          scope = scope_of fields;
           kind;
         }
   | "gauge" ->
       Gauge { time = nget fields "t"; name = sget fields "name"; value = nget fields "value" }
+  | "metric" ->
+      let mkind =
+        match sget fields "mkind" with
+        | "counter" -> `Counter
+        | "gauge" -> `Gauge
+        | other -> bad "unknown metric kind %S" other
+      in
+      Metric { time = nget fields "t"; name = sget fields "name"; mkind; value = nget fields "value" }
   | "msgs" ->
       Msgs { cls = cls_of_string (sget fields "cls"); count = iget fields "count"; bytes = iget fields "bytes" }
   | "counters" ->
@@ -240,6 +282,8 @@ let typed fields =
 
 let parse_line s = match typed (parse_obj s) with v -> Ok v | exception Bad msg -> Error msg
 
+let known_schema s = s = schema || s = schema_v1
+
 let read_file path =
   match open_in path with
   | exception Sys_error msg -> Error msg
@@ -255,12 +299,14 @@ let read_file path =
             | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
       in
       let check_head = function
-        | Ok (Meta pairs :: _) as ok ->
-            if List.assoc_opt "schema" pairs = Some schema then ok
-            else
-              Error
-                (Printf.sprintf "line 1: schema mismatch (want %S, got %S)" schema
-                   (Option.value ~default:"<none>" (List.assoc_opt "schema" pairs)))
+        | Ok (Meta pairs :: _) as ok -> (
+            match List.assoc_opt "schema" pairs with
+            | Some s when known_schema s -> ok
+            | got ->
+                Error
+                  (Printf.sprintf "line 1: schema mismatch (want %S or %S, got %S)" schema
+                     schema_v1
+                     (Option.value ~default:"<none>" got)))
         | Ok _ -> Error "line 1: expected a meta line"
         | Error _ as e -> e
       in

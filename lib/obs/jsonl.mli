@@ -1,38 +1,51 @@
-(** Schema-versioned JSONL export of a {!Recorder}'s telemetry, and the
-    matching parser used by the [dcs-trace] analyzer.
+(** Schema-versioned JSONL export of telemetry, and the matching parser
+    used by the [dcs-trace] analyzer.
 
     Every line is a flat JSON object whose first field [k] names the line
     kind; within a kind the field order is fixed, so output is byte-for-byte
     deterministic for a deterministic run:
 
-    - [meta] — first line of every file: [{"k":"meta","schema":"dcs-obs/1",
-      ...caller pairs...}]. Callers record run parameters (driver, nodes,
-      locks, seed, ops) here.
-    - [ev] — one span/node event:
-      [{"k":"ev","t":…,"lock":…,"node":…,"req":…,"seq":…,"ev":"requested",
-      "mode":"R","arg":0,"set":""}]. [mode] is [""] for kinds without a
-      mode; [arg] carries the kind's integer payload (priority, forward
-      destination, hop count; 0 otherwise); [set] is a [+]-joined mode list
-      ("IR+R") for frozen/unfrozen, [""] otherwise.
+    - [meta] — first line of every file: [{"k":"meta","schema":"dcs-obs/2",
+      ...caller pairs...}]. Callers record run parameters (driver, node,
+      nodes, locks, seed, ops) here.
+    - [ev] — one event:
+      [{"k":"ev","t":…,"lock":…,"node":…,"scope":"span","req":…,"seq":…,
+      "ev":"requested","mode":"R","arg":0,"set":""}]. The [scope] field is
+      the explicit span/node discriminator introduced by [dcs-obs/2]:
+      ["span"] lines carry [req]/[seq], ["node"] lines (frozen/unfrozen)
+      omit them. [mode] is [""] for kinds without a mode; [arg] carries the
+      kind's integer payload (priority, forward destination, hop count,
+      sent/received peer; 0 otherwise); [set] is a [+]-joined mode list
+      ("IR+R") for frozen/unfrozen, [""] otherwise; sent/received lines
+      append a ["cls"] message-class field.
     - [gauge] — one sampled gauge: [{"k":"gauge","t":…,"name":…,"value":…}].
-    - [msgs] — per-class traffic as counted by the recorder, one line per
+    - [metric] — one registry snapshot row ({!Metrics.snapshot}):
+      [{"k":"metric","t":…,"name":…,"mkind":"counter","value":…}].
+    - [msgs] — per-class traffic as counted at the source, one line per
       class in {!Msg_class.all} order (zero classes included):
       [{"k":"msgs","cls":"request","count":…,"bytes":…}].
     - [counters] — one line embedding the transport's authoritative
       {!Dcs_proto.Counters} totals, for the analyzer's exact cross-check:
       [{"k":"counters","request":…,…}] in {!Msg_class.all} order.
 
-    The parser accepts any flat JSON object (whitespace-insensitive,
-    fields in any order) — only the writer's ordering is canonical. *)
+    The parser accepts any flat JSON object (whitespace-insensitive, fields
+    in any order) and reads both [dcs-obs/2] and legacy [dcs-obs/1] files:
+    v1 [ev] lines have no [scope] field, so the old [req = seq = -1]
+    node-event sentinel is decoded here — and only here — into
+    {!Event.scope}. *)
 
 open Dcs_proto
 
-(** Current schema tag: ["dcs-obs/1"]. *)
+(** Current schema tag: ["dcs-obs/2"]. *)
 val schema : string
 
-(** [write oc ~meta ?counters r] writes the whole file: meta line (with
-    [schema] injected first), retained events in chronological order, gauge
-    samples, per-class [msgs] lines, then the [counters] line if given. *)
+(** Legacy schema tag still accepted by the parser: ["dcs-obs/1"]. *)
+val schema_v1 : string
+
+(** [write oc ~meta ?counters r] writes a whole {!Recorder} file: meta line
+    (with [schema] injected first), retained events in chronological order,
+    gauge samples, per-class [msgs] lines, then the [counters] line if
+    given. *)
 val write :
   out_channel ->
   meta:(string * string) list ->
@@ -40,10 +53,28 @@ val write :
   Recorder.t ->
   unit
 
+(** {1 Incremental emitters}
+
+    The streaming building blocks [write] composes; {!Shard} uses them to
+    emit lines live as a process runs. *)
+
+val output_meta : out_channel -> (string * string) list -> unit
+val output_event : out_channel -> Event.t -> unit
+val output_gauge : out_channel -> time:float -> name:string -> value:float -> unit
+
+val output_metric :
+  out_channel -> time:float -> name:string -> mkind:[ `Counter | `Gauge ] -> value:float -> unit
+
+val output_msgs :
+  out_channel -> counts:(Msg_class.t * int) list -> bytes:(Msg_class.t * int) list -> unit
+
+val output_counters : out_channel -> (Msg_class.t * int) list -> unit
+
 type line =
   | Meta of (string * string) list  (** caller pairs, [schema] included *)
   | Ev of Event.t
   | Gauge of { time : float; name : string; value : float }
+  | Metric of { time : float; name : string; mkind : [ `Counter | `Gauge ]; value : float }
   | Msgs of { cls : Msg_class.t; count : int; bytes : int }
   | Counters of (Msg_class.t * int) list
 
@@ -51,5 +82,6 @@ type line =
 val parse_line : string -> (line, string) result
 
 (** Parse a whole file; enforces that the first line is a [meta] line
-    carrying the current {!schema}. Errors are prefixed [line N: ]. *)
+    carrying a known schema ([dcs-obs/2] or [dcs-obs/1]). Errors are
+    prefixed [line N: ]. *)
 val read_file : string -> (line list, string) result

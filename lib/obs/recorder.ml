@@ -101,30 +101,31 @@ let freeze_change t ~time ~lock ~node ~add set =
     if not was_empty then Summary.add t.freeze_sum (time -. since))
   else Hashtbl.replace t.freezes key (next, if was_empty then time else since)
 
-let record t ~time ~lock ~node ~requester ~seq kind =
+let record t ~time ~lock ~node scope kind =
   if t.enabled then (
     t.event_count <- t.event_count + 1;
-    if t.keep_events then
-      t.events <- { Event.time; lock; node; requester; seq; kind } :: t.events;
-    match kind with
-    | Event.Requested { mode = _; priority = _ } ->
+    if t.keep_events then t.events <- { Event.time; lock; node; scope; kind } :: t.events;
+    match (scope, kind) with
+    | Event.Span { requester; seq }, Event.Requested _ ->
         t.requested <- t.requested + 1;
         Hashtbl.replace t.spans (lock, requester, seq) time
-    | Granted_local { mode; hops } ->
+    | Span { requester; seq }, Granted_local { mode; hops } ->
         t.grants_local <- t.grants_local + 1;
         if hops = 0 then t.message_free <- t.message_free + 1;
         bump t.hops_local hops;
         close_span t ~time ~lock ~requester ~seq mode
-    | Granted_token { mode; hops } ->
+    | Span { requester; seq }, Granted_token { mode; hops } ->
         t.grants_token <- t.grants_token + 1;
         bump t.hops_token hops;
         close_span t ~time ~lock ~requester ~seq mode
-    | Upgraded ->
+    | Span { requester; seq }, Upgraded ->
         t.upgrades <- t.upgrades + 1;
         close_span t ~time ~lock ~requester ~seq Mode.W
-    | Frozen set -> freeze_change t ~time ~lock ~node ~add:true set
-    | Unfrozen set -> freeze_change t ~time ~lock ~node ~add:false set
-    | Forwarded _ | Queued | Released _ -> ())
+    | _, Frozen set -> freeze_change t ~time ~lock ~node ~add:true set
+    | _, Unfrozen set -> freeze_change t ~time ~lock ~node ~add:false set
+    | _, (Requested _ | Granted_local _ | Granted_token _ | Upgraded)
+    | _, (Forwarded _ | Queued | Released _ | Sent _ | Received _) ->
+        ())
 
 let message t ~cls ~bytes =
   if t.enabled then (

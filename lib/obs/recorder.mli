@@ -37,17 +37,10 @@ val enabled : t -> bool
 
 (** {1 Ingestion} *)
 
-(** Record one lifecycle event. [requester]/[seq] are [-1] for node events
-    ({!Event.Frozen}/{!Event.Unfrozen}). No-op when disabled. *)
-val record :
-  t ->
-  time:float ->
-  lock:int ->
-  node:Node_id.t ->
-  requester:Node_id.t ->
-  seq:int ->
-  Event.kind ->
-  unit
+(** Record one lifecycle event under the given {!Event.scope}
+    ([Span {requester; seq}] for request events, [Node] for
+    {!Event.Frozen}/{!Event.Unfrozen}). No-op when disabled. *)
+val record : t -> time:float -> lock:int -> node:Node_id.t -> Event.scope -> Event.kind -> unit
 
 (** Count one protocol message of class [cls] with encoded size [bytes].
     No-op when disabled. *)

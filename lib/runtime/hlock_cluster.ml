@@ -218,9 +218,8 @@ let create ?(config = Node.default_config) ?(oracle = false) ?transport ?obs ~ne
             | None -> None
             | Some r ->
                 Some
-                  (fun ~requester ~seq kind ->
-                    Dcs_obs.Recorder.record r ~time:(Net.now net) ~lock ~node:id ~requester
-                      ~seq kind)
+                  (fun scope kind ->
+                    Dcs_obs.Recorder.record r ~time:(Net.now net) ~lock ~node:id scope kind)
           in
           Node.create ~config ?obs:node_obs ~id ~peers:n ~is_token:(id = 0)
             ~parent:(if id = 0 then None else Some 0)

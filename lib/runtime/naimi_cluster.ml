@@ -111,9 +111,8 @@ let create ?(oracle = false) ?obs ~net ~nodes:n ~locks:l () =
             | None -> None
             | Some r ->
                 Some
-                  (fun ~requester ~seq kind ->
-                    Dcs_obs.Recorder.record r ~time:(Net.now net) ~lock ~node:id ~requester
-                      ~seq kind)
+                  (fun scope kind ->
+                    Dcs_obs.Recorder.record r ~time:(Net.now net) ~lock ~node:id scope kind)
           in
           Naimi.create ?obs:node_obs ~id ~is_root:(id = 0)
             ~father:(if id = 0 then None else Some 0)

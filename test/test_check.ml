@@ -72,7 +72,7 @@ let test_seq_upgrade_outranks () =
 (* {1 Trace conformance} *)
 
 let ev ?(node = 0) ?(req = 0) ?(seq = 0) time kind =
-  { Event.time; lock = 0; node; requester = req; seq; kind }
+  { Event.time; lock = 0; node; scope = Event.Span { requester = req; seq }; kind }
 
 let span ?(req = 0) ?(seq = 0) ?(t0 = 0.0) mode =
   [

@@ -96,6 +96,145 @@ let test_multi_lock_traffic () =
   checki "all ops done" 30 !done_count;
   stop_all runners
 
+(* {1 Runtime stats (queryable transport observability)} *)
+
+let test_stats_clean_cluster () =
+  let runners = make_cluster ~nodes:2 ~locks:1 in
+  let seq = Runner.request_sync runners.(1) ~lock:0 ~mode:Dcs_modes.Mode.R in
+  Runner.release runners.(1) ~lock:0 ~seq;
+  let seq0 = Runner.request_sync runners.(0) ~lock:0 ~mode:Dcs_modes.Mode.W in
+  Runner.release runners.(0) ~lock:0 ~seq:seq0;
+  (* Stats are live: query before stop. *)
+  let s = Runner.stats runners.(1) in
+  checkb "frames were sent" true (s.Runner.frames_sent > 0);
+  checkb "bytes cover the frames (4-byte prefix each)" true
+    (s.Runner.bytes_sent >= 5 * s.Runner.frames_sent);
+  checkb "batched writes happened" true (s.Runner.batches > 0);
+  checkb "connected at least once" true (s.Runner.connects >= 1);
+  checki "no reconnects on a clean run" 0 s.Runner.reconnects;
+  checki "nothing dropped while running" 0 s.Runner.dropped_frames;
+  checki "no decode errors" 0 s.Runner.decode_errors;
+  checkb "inbound traffic was counted" true
+    (s.Runner.frames_received > 0 && s.Runner.bytes_received > 0);
+  (* The metrics registry is the same data by name. *)
+  let m = Runner.metrics runners.(1) in
+  checki "metrics mirror frames_sent" s.Runner.frames_sent
+    (Dcs_obs.Metrics.value (Dcs_obs.Metrics.counter m "net.frames_sent"));
+  checkb "grant-mix counters fired" true
+    (Dcs_obs.Metrics.value (Dcs_obs.Metrics.counter m "grants.R") > 0);
+  stop_all runners
+
+let test_stats_unreachable_peer () =
+  (* Node 0 alone, with a peer that never answers: the writer must keep
+     retrying with growing backoff, the queue must report the stuck
+     frames, and stop must count them as dropped. *)
+  base_port := !base_port + 16;
+  let spec =
+    Printf.sprintf "0:127.0.0.1:%d,1:127.0.0.1:%d" !base_port (!base_port + 1)
+  in
+  let config = match Config.parse ~locks:1 spec with Ok c -> c | Error e -> Alcotest.fail e in
+  let runner = Runner.create ~config ~self:1 () in
+  Runner.start runner;
+  (* Lock 0's token lives at node 0, so this request must go remote —
+     and node 0 does not exist. Fire-and-forget the callback. *)
+  ignore (Runner.request runner ~lock:0 ~mode:Dcs_modes.Mode.R ~on_granted:(fun () -> ()));
+  (* Give the writer a few backoff cycles. *)
+  Thread.delay 1.0;
+  let s = Runner.stats runner in
+  checkb "connect retries counted" true (s.Runner.connect_retries > 0);
+  checkb "backoff is live and nonzero" true (s.Runner.backoff_ms > 0.0);
+  checkb "frames stuck in the queue" true (s.Runner.queued_frames >= 1);
+  checki "nothing dropped before stop" 0 s.Runner.dropped_frames;
+  Runner.stop runner;
+  (* The writer thread finishes its current backoff sleep before it
+     notices the shutdown and books the drops — poll briefly. *)
+  let deadline = Unix.gettimeofday () +. 3.0 in
+  let rec dropped () =
+    let s = Runner.stats runner in
+    if s.Runner.dropped_frames >= 1 then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Thread.delay 0.05;
+      dropped ()
+    end
+  in
+  checkb "queued frames dropped at stop" true (dropped ())
+
+(* {1 In-process telemetry shards round-trip through the merger} *)
+
+let test_telemetry_shards_merge () =
+  base_port := !base_port + 16;
+  let spec =
+    Printf.sprintf "0:127.0.0.1:%d,1:127.0.0.1:%d" !base_port (!base_port + 1)
+  in
+  let config = match Config.parse ~locks:2 spec with Ok c -> c | Error e -> Alcotest.fail e in
+  let dir = Filename.temp_file "dcs_netkit_shards" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let paths = List.init 2 (fun i -> Filename.concat dir (Printf.sprintf "node-%d.jsonl" i)) in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) paths;
+      Unix.rmdir dir)
+  @@ fun () ->
+  let shards =
+    List.map
+      (fun (i, path) ->
+        Dcs_obs.Shard.create ~path
+          ~meta:[ ("node", string_of_int i); ("nodes", "2"); ("locks", "2") ]
+          ())
+      (List.mapi (fun i p -> (i, p)) paths)
+  in
+  let runners =
+    Array.of_list
+      (List.mapi
+         (fun self shard -> Runner.create ~telemetry:shard ~config ~self ())
+         shards)
+  in
+  Array.iter Runner.start runners;
+  Thread.delay 0.15;
+  (* Cross traffic on both locks so both shards carry sent/received
+     edges and at least one token transfer. *)
+  let seq = Runner.request_sync runners.(1) ~lock:0 ~mode:Dcs_modes.Mode.W in
+  Runner.release runners.(1) ~lock:0 ~seq;
+  let seq = Runner.request_sync runners.(0) ~lock:0 ~mode:Dcs_modes.Mode.R in
+  Runner.release runners.(0) ~lock:0 ~seq;
+  let seq = Runner.request_sync runners.(1) ~lock:1 ~mode:Dcs_modes.Mode.R in
+  Runner.release runners.(1) ~lock:1 ~seq;
+  (* Drain the wire before stop so no frame is dropped mid-flight. *)
+  Thread.delay 0.3;
+  stop_all runners;
+  List.iter Dcs_obs.Shard.close shards;
+  match Dcs_obs.Merge.load paths with
+  | Error e -> Alcotest.failf "merge load: %s" e
+  | Ok (loaded, warnings) ->
+      checki "no truncation warnings" 0 (List.length warnings);
+      let offsets = Dcs_obs.Merge.align loaded in
+      let events = Dcs_obs.Merge.merged_events ~offsets loaded in
+      let breakdowns, _ = Dcs_obs.Merge.critical_paths events in
+      checkb "completed spans in the merged timeline" true (List.length breakdowns >= 3);
+      checkb "a remote span paid net or token time" true
+        (List.exists
+           (fun (b : Dcs_obs.Merge.breakdown) ->
+             b.Dcs_obs.Merge.b_net_ms > 0.0 || b.Dcs_obs.Merge.b_token_ms > 0.0)
+           breakdowns);
+      (* Shard frame accounting equals the transports' Counters exactly. *)
+      (match Dcs_obs.Merge.summed_counters loaded with
+      | None -> Alcotest.fail "shards carry no counters line"
+      | Some counters ->
+          let msgs = Dcs_obs.Merge.summed_msgs loaded in
+          List.iter
+            (fun (cls, n) ->
+              checki
+                (Printf.sprintf "class %s matches transport"
+                   (Dcs_proto.Msg_class.to_string cls))
+                n
+                (fst (List.assoc cls msgs)))
+            counters);
+      let totals = Dcs_obs.Merge.metric_totals loaded in
+      checkb "no frames dropped" true
+        (List.assoc_opt "net.dropped_frames" totals = Some 0.0)
+
 let () =
   Alcotest.run "dcs_netkit"
     [
@@ -107,4 +246,11 @@ let () =
           Alcotest.test_case "upgrade over tcp" `Slow test_upgrade_over_tcp;
           Alcotest.test_case "multi-lock traffic" `Slow test_multi_lock_traffic;
         ] );
+      ( "stats",
+        [
+          Alcotest.test_case "clean cluster stats" `Slow test_stats_clean_cluster;
+          Alcotest.test_case "unreachable peer" `Slow test_stats_unreachable_peer;
+        ] );
+      ( "telemetry",
+        [ Alcotest.test_case "shards merge" `Slow test_telemetry_shards_merge ] );
     ]

@@ -1,6 +1,9 @@
 (* Telemetry tests: Counters.diff / pp ordering, the Recorder's span and
-   metric accounting, JSONL round-tripping, and an end-to-end crosscheck
-   of recorder message counts against the transport's Counters. *)
+   metric accounting, JSONL round-tripping (v2 and legacy v1), the
+   Metrics registry and Clock sources, multi-shard merge with causal
+   clock alignment and critical-path classification, and an end-to-end
+   crosscheck of recorder message counts against the transport's
+   Counters. *)
 
 open Dcs_modes
 module Msg_class = Dcs_proto.Msg_class
@@ -8,9 +11,14 @@ module Counters = Dcs_proto.Counters
 module Event = Dcs_obs.Event
 module Recorder = Dcs_obs.Recorder
 module Jsonl = Dcs_obs.Jsonl
+module Metrics = Dcs_obs.Metrics
+module Clock = Dcs_obs.Clock
+module Shard = Dcs_obs.Shard
+module Merge = Dcs_obs.Merge
 
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-6)
 
 (* {1 Counters satellite} *)
 
@@ -54,7 +62,9 @@ let test_counters_pp_ordering () =
 (* {1 Recorder} *)
 
 let ev r ~time ~node ~requester ~seq kind =
-  Recorder.record r ~time ~lock:0 ~node ~requester ~seq kind
+  Recorder.record r ~time ~lock:0 ~node (Event.Span { requester; seq }) kind
+
+let node_ev r ~time ~node kind = Recorder.record r ~time ~lock:0 ~node Event.Node kind
 
 (* One local grant (1 hop), one token grant (0 hops, then upgraded), and
    a freeze episode — exercises every accounting path. *)
@@ -68,10 +78,8 @@ let populate r =
   ev r ~time:10.0 ~node:2 ~requester:2 ~seq:0 (Event.Requested { mode = Mode.W; priority = 0 });
   ev r ~time:14.0 ~node:2 ~requester:2 ~seq:0 Event.Upgraded;
   ev r ~time:15.0 ~node:1 ~requester:1 ~seq:0 (Event.Released { mode = Mode.R });
-  ev r ~time:3.0 ~node:0 ~requester:(-1) ~seq:(-1)
-    (Event.Frozen (Mode_set.of_list [ Mode.IR; Mode.R ]));
-  ev r ~time:8.0 ~node:0 ~requester:(-1) ~seq:(-1)
-    (Event.Unfrozen (Mode_set.of_list [ Mode.IR; Mode.R ]));
+  node_ev r ~time:3.0 ~node:0 (Event.Frozen (Mode_set.of_list [ Mode.IR; Mode.R ]));
+  node_ev r ~time:8.0 ~node:0 (Event.Unfrozen (Mode_set.of_list [ Mode.IR; Mode.R ]));
   Recorder.message r ~cls:Msg_class.Request ~bytes:40;
   Recorder.message r ~cls:Msg_class.Request ~bytes:2;
   Recorder.message r ~cls:Msg_class.Token_transfer ~bytes:25;
@@ -159,7 +167,7 @@ let test_jsonl_roundtrip () =
   List.iter2
     (fun (a : Event.t) (b : Event.t) ->
       checkb "event round-trips" true
-        (a.lock = b.lock && a.node = b.node && a.requester = b.requester && a.seq = b.seq
+        (a.lock = b.lock && a.node = b.node && a.scope = b.scope
         && abs_float (a.time -. b.time) < 1e-6
         && a.kind = b.kind))
     original parsed;
@@ -167,7 +175,9 @@ let test_jsonl_roundtrip () =
     List.sort_uniq compare
       (List.filter_map
          (fun (e : Event.t) ->
-           if Event.is_node_event e.kind then None else Some (e.lock, e.requester, e.seq))
+           match e.Event.scope with
+           | Event.Node -> None
+           | Event.Span { requester; seq } -> Some (e.lock, requester, seq))
          evs)
   in
   checkb "identical span set" true (span_set original = span_set parsed);
@@ -215,7 +225,7 @@ let test_jsonl_robust_malformed_line () =
   checkb "names line 3" true (contains msg "line 3")
 
 let test_jsonl_robust_unknown_schema () =
-  let msg = read_error [ "{\"k\":\"meta\",\"schema\":\"dcs-obs/2\"}"; ev_line ] in
+  let msg = read_error [ "{\"k\":\"meta\",\"schema\":\"dcs-obs/99\"}"; ev_line ] in
   checkb "mentions schema" true (contains msg "schema mismatch");
   let msg = read_error [ "{\"k\":\"meta\",\"nodes\":\"2\"}" ] in
   checkb "missing schema rejected" true (contains msg "schema mismatch")
@@ -249,6 +259,249 @@ let test_jsonl_robust_not_meta_first () =
   | Ok _ -> Alcotest.fail "expected Error for missing file"
   | Error _ -> ()
   | exception e -> Alcotest.failf "raised %s for missing file" (Printexc.to_string e)
+
+(* {1 Schema v1 compatibility and v2 node events} *)
+
+let test_jsonl_v1_compat () =
+  (* A legacy dcs-obs/1 file: no scope field, req = seq = -1 marks node
+     events. The parser must keep reading it. *)
+  let v1_meta = Printf.sprintf "{\"k\":\"meta\",\"schema\":\"%s\",\"nodes\":\"2\"}" Jsonl.schema_v1 in
+  let v1_span =
+    "{\"k\":\"ev\",\"t\":1.0,\"lock\":0,\"node\":1,\"req\":1,\"seq\":4,\"ev\":\"queued\",\
+     \"mode\":\"\",\"arg\":0,\"set\":\"\"}"
+  in
+  let v1_node =
+    "{\"k\":\"ev\",\"t\":2.0,\"lock\":0,\"node\":1,\"req\":-1,\"seq\":-1,\"ev\":\"frozen\",\
+     \"mode\":\"\",\"arg\":0,\"set\":\"IR+R\"}"
+  in
+  with_file [ v1_meta; v1_span; v1_node ] (fun path ->
+      match Jsonl.read_file path with
+      | Error e -> Alcotest.failf "v1 file rejected: %s" e
+      | Ok [ Jsonl.Meta _; Jsonl.Ev span; Jsonl.Ev node ] ->
+          checkb "v1 span decoded" true
+            (span.Event.scope = Event.Span { requester = 1; seq = 4 });
+          checkb "v1 sentinel decodes to Node scope" true (node.Event.scope = Event.Node);
+          checkb "frozen set survives" true
+            (node.Event.kind = Event.Frozen (Mode_set.of_list [ Mode.IR; Mode.R ]))
+      | Ok _ -> Alcotest.fail "unexpected line shapes")
+
+let test_jsonl_v2_node_event () =
+  (* v2 writes an explicit scope discriminator: node lines say so and
+     carry no req/seq; span lines carry both. *)
+  let r = Recorder.create ~enabled:true () in
+  node_ev r ~time:1.0 ~node:3 (Event.Frozen (Mode_set.of_list [ Mode.R ]));
+  ev r ~time:2.0 ~node:3 ~requester:1 ~seq:0 (Event.Requested { mode = Mode.R; priority = 0 });
+  let path = Filename.temp_file "dcs_obs_v2" ".jsonl" in
+  let oc = open_out path in
+  Jsonl.write oc ~meta:[] r;
+  close_out oc;
+  let raw =
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic; Sys.remove path) @@ fun () ->
+    let rec go acc = match input_line ic with
+      | l -> go (l :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    go []
+  in
+  let frozen_line = List.find (fun l -> contains l "frozen") raw in
+  checkb "node line says scope:node" true (contains frozen_line "\"scope\":\"node\"");
+  checkb "node line has no req field" false (contains frozen_line "\"req\":");
+  let req_line = List.find (fun l -> contains l "requested") raw in
+  checkb "span line says scope:span" true (contains req_line "\"scope\":\"span\"");
+  checkb "span line keeps req" true (contains req_line "\"req\":1");
+  (* And both round-trip through the parser. *)
+  List.iter
+    (fun l ->
+      match Jsonl.parse_line l with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "v2 line rejected: %s (%s)" e l)
+    raw
+
+(* {1 Metrics registry} *)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "net.frames" in
+  checkb "find-or-create returns the same handle" true (c == Metrics.counter m "net.frames");
+  Metrics.incr c;
+  Metrics.add c 4;
+  checki "counter accumulates" 5 (Metrics.value c);
+  Alcotest.check Alcotest.string "counter name" "net.frames" (Metrics.counter_name c);
+  let g = Metrics.gauge m "net.depth" in
+  Metrics.set g 7.5;
+  checkf "gauge holds last value" 7.5 (Metrics.gauge_value g);
+  Metrics.set g 2.0;
+  checkf "gauge overwrites" 2.0 (Metrics.gauge_value g);
+  let h = Metrics.histogram m "lat" in
+  List.iter (Metrics.observe h) [ 1.0; 1.0; 1.0; 100.0 ];
+  checkb "histogram p50 near the bulk" true (Metrics.quantile h 0.5 < 10.0);
+  checkb "histogram p99 near the tail" true (Metrics.quantile h 0.99 > 50.0);
+  let snap = Metrics.snapshot m in
+  let names = List.map (fun (n, _, _) -> n) snap in
+  checkb "snapshot sorted by name" true (List.sort compare names = names);
+  checkb "histogram expands to count row" true (List.mem "lat.count" names);
+  let find name = List.find (fun (n, _, _) -> n = name) snap in
+  (match find "net.frames" with
+  | _, `Counter, v -> checkf "counter row" 5.0 v
+  | _ -> Alcotest.fail "net.frames not a counter row");
+  match find "lat.count" with
+  | _, `Counter, v -> checkf "histogram count row" 4.0 v
+  | _ -> Alcotest.fail "lat.count not a counter row"
+
+let test_clock_sources () =
+  let w = Clock.wall () in
+  let a = w () in
+  let b = w () in
+  checkb "wall clock non-decreasing" true (b >= a);
+  checkb "wall clock is epoch ms" true (a > 1.0e12);
+  let c, set = Clock.manual 100.0 in
+  checkf "manual starts where told" 100.0 (c ());
+  set 250.0;
+  checkf "manual advances" 250.0 (c ());
+  set 50.0;
+  checkf "manual never regresses" 250.0 (c ());
+  let sim = Clock.of_fun (fun () -> 42.0) in
+  checkf "of_fun passes through" 42.0 (sim ())
+
+(* {1 Multi-shard merge} *)
+
+let in_temp_dir f =
+  let dir = Filename.temp_file "dcs_obs_merge" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+(* Three shards, one process each, with clocks skewed +50 ms (node 1) and
+   -50 ms (node 2) against node 0. Two spans cross shard boundaries on
+   request/token edges with symmetric 2 ms true delays, so the causal
+   aligner can recover the skews exactly. All times in true ms; each
+   shard stamps [true + skew]. *)
+let write_skewed_shards dir =
+  let skews = [| 0.0; 50.0; -50.0 |] in
+  let shards =
+    Array.init 3 (fun i ->
+        let clock, set = Clock.manual 0.0 in
+        let sh =
+          Shard.create
+            ~path:(Filename.concat dir (Printf.sprintf "node-%d.jsonl" i))
+            ~clock
+            ~meta:[ ("node", string_of_int i); ("nodes", "3") ]
+            ()
+        in
+        (sh, set))
+  in
+  let at i t = snd shards.(i) (t +. skews.(i)) in
+  let evt i ~lock scope kind =
+    Shard.event (fst shards.(i)) ~lock ~node:i scope kind
+  in
+  let span1 = Event.Span { requester = 1; seq = 0 } in
+  let span2 = Event.Span { requester = 2; seq = 0 } in
+  (* Span 1: node 1 requests lock 0, node 0 ships the token back.
+     Span 2 overlaps it in true time: node 2 requests lock 1 via node 1.
+     Each shard's manual clock only moves forward, so each shard's
+     events are emitted in its own local-time order. *)
+  at 1 1000.0; evt 1 ~lock:0 span1 (Event.Requested { mode = Mode.R; priority = 0 });
+  at 1 1001.0; evt 1 ~lock:0 span1 (Event.Sent { cls = Msg_class.Request; dst = 0 });
+  at 0 1003.0; evt 0 ~lock:0 span1 (Event.Received { cls = Msg_class.Request; src = 1 });
+  at 0 1004.0; evt 0 ~lock:0 span1 (Event.Sent { cls = Msg_class.Token_transfer; dst = 1 });
+  at 1 1005.0; evt 1 ~lock:1 span2 (Event.Received { cls = Msg_class.Request; src = 2 });
+  at 1 1006.0; evt 1 ~lock:1 span2 (Event.Sent { cls = Msg_class.Token_transfer; dst = 2 });
+  at 1 1006.0; evt 1 ~lock:0 span1 (Event.Received { cls = Msg_class.Token_transfer; src = 0 });
+  at 1 1007.0; evt 1 ~lock:0 span1 (Event.Granted_token { mode = Mode.R; hops = 1 });
+  at 2 1002.0; evt 2 ~lock:1 span2 (Event.Requested { mode = Mode.W; priority = 0 });
+  at 2 1003.0; evt 2 ~lock:1 span2 (Event.Sent { cls = Msg_class.Request; dst = 1 });
+  at 2 1008.0; evt 2 ~lock:1 span2 (Event.Received { cls = Msg_class.Token_transfer; src = 1 });
+  at 2 1009.0; evt 2 ~lock:1 span2 (Event.Granted_token { mode = Mode.W; hops = 1 });
+  Array.iter (fun (sh, _) -> Shard.close sh) shards;
+  Array.to_list (Array.init 3 (fun i -> Filename.concat dir (Printf.sprintf "node-%d.jsonl" i)))
+
+let test_merge_aligns_skewed_clocks () =
+  in_temp_dir @@ fun dir ->
+  let paths = write_skewed_shards dir in
+  let shards, warnings =
+    match Merge.load paths with
+    | Ok x -> x
+    | Error e -> Alcotest.failf "load: %s" e
+  in
+  checki "no warnings" 0 (List.length warnings);
+  let offsets = Merge.align shards in
+  let off n = Option.value ~default:nan (List.assoc_opt n offsets) in
+  checkf "node 0 pinned" 0.0 (off 0);
+  checkf "node 1 skew recovered" 50.0 (off 1);
+  checkf "node 2 skew recovered" (-50.0) (off 2);
+  let events = Merge.merged_events ~offsets shards in
+  let ts = List.map (fun (e : Event.t) -> e.time) events in
+  checkb "corrected times are sorted" true (List.sort compare ts = ts);
+  let breakdowns, incomplete = Merge.critical_paths events in
+  checki "both spans complete" 2 (List.length breakdowns);
+  checki "nothing open" 0 incomplete;
+  List.iter
+    (fun (b : Merge.breakdown) ->
+      checkb "span kind is token" true (b.Merge.b_kind = `Token);
+      checkf "corrected span latency is the true 7 ms" 7.0 (b.Merge.b_finish -. b.Merge.b_start);
+      (* 2 ms request hop (net) + 2 ms token hop (token) + 3 ms of local
+         processing gaps; the buckets must sum to the whole wait. *)
+      checkf "net bucket" 2.0 b.Merge.b_net_ms;
+      checkf "token bucket" 2.0 b.Merge.b_token_ms;
+      checkf "local bucket" 3.0 b.Merge.b_local_ms;
+      checkf "buckets sum to total" 7.0 (Merge.total_wait b))
+    breakdowns
+
+let test_merge_truncated_shard () =
+  in_temp_dir @@ fun dir ->
+  let paths = write_skewed_shards dir in
+  (* Chop the last shard mid-line, as a killed process would. *)
+  let victim = List.nth paths 2 in
+  let ic = open_in victim in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  let oc = open_out victim in
+  output_string oc (String.sub data 0 (n - 7));
+  close_out oc;
+  let shards, warnings =
+    match Merge.load paths with
+    | Ok x -> x
+    | Error e -> Alcotest.failf "truncated shard must load: %s" e
+  in
+  checki "one warning" 1 (List.length warnings);
+  checkb "warning names the file" true (contains (List.hd warnings) victim);
+  checkb "victim flagged truncated" true
+    (List.exists (fun (s : Merge.shard) -> s.Merge.path = victim && s.truncated) shards);
+  (* The surviving prefix still merges and still yields span 1. *)
+  let breakdowns, _ = Merge.critical_paths (Merge.merged_events shards) in
+  checkb "intact span survives" true
+    (List.exists (fun (b : Merge.breakdown) -> b.Merge.b_requester = 1) breakdowns)
+
+let test_merge_classifies_queue_and_freeze () =
+  (* Single node, no clock games: request queued at t=1, node frozen over
+     [2,5], granted at t=8. The 7 ms out of Queued must split 3 ms freeze
+     / 4 ms queue, with the 1 ms before Queued charged to local. *)
+  let span = Event.Span { requester = 0; seq = 0 } in
+  let e time scope kind = { Event.time; lock = 0; node = 0; scope; kind } in
+  let events =
+    [
+      e 0.0 span (Event.Requested { mode = Mode.R; priority = 0 });
+      e 1.0 span Event.Queued;
+      e 2.0 Event.Node (Event.Frozen (Mode_set.of_list [ Mode.R ]));
+      e 5.0 Event.Node (Event.Unfrozen (Mode_set.of_list [ Mode.R ]));
+      e 8.0 span (Event.Granted_local { mode = Mode.R; hops = 0 });
+    ]
+  in
+  let breakdowns, incomplete = Merge.critical_paths events in
+  checki "one span" 1 (List.length breakdowns);
+  checki "none open" 0 incomplete;
+  let b = List.hd breakdowns in
+  checkf "local" 1.0 b.Merge.b_local_ms;
+  checkf "queue" 4.0 b.Merge.b_queue_ms;
+  checkf "freeze" 3.0 b.Merge.b_freeze_ms;
+  checkf "no net" 0.0 b.Merge.b_net_ms;
+  checkf "total" 8.0 (Merge.total_wait b)
 
 (* {1 End-to-end: recorder counts match the transport Counters} *)
 
@@ -309,6 +562,20 @@ let () =
           Alcotest.test_case "partial trailing record" `Quick test_jsonl_robust_partial_trailing;
           Alcotest.test_case "field errors" `Quick test_jsonl_robust_field_errors;
           Alcotest.test_case "meta first + missing file" `Quick test_jsonl_robust_not_meta_first;
+          Alcotest.test_case "v1 compatibility" `Quick test_jsonl_v1_compat;
+          Alcotest.test_case "v2 node events" `Quick test_jsonl_v2_node_event;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "clock sources" `Quick test_clock_sources;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "aligns skewed clocks" `Quick test_merge_aligns_skewed_clocks;
+          Alcotest.test_case "truncated shard warns" `Quick test_merge_truncated_shard;
+          Alcotest.test_case "queue/freeze classification" `Quick
+            test_merge_classifies_queue_and_freeze;
         ] );
       ( "end-to-end",
         [ Alcotest.test_case "recorder vs counters" `Quick test_traced_run_crosschecks ] );
