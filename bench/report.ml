@@ -110,8 +110,12 @@ let () =
   and gate_tolerance = ref 0.15
   and gate_drift = ref false
   and no_gate = ref false in
+  let soak = ref false in
+  let soak_scale = ref 1.0 in
   let rec parse = function
     | [] -> ()
+    | "--soak" :: rest -> soak := true; parse rest
+    | "--soak-scale" :: s :: rest -> soak_scale := float_of_string s; parse rest
     | "-o" :: f :: rest -> out := Some f; parse rest
     | "--before" :: f :: rest -> before := Some f; parse rest
     | "--label" :: s :: rest -> label := s; parse rest
@@ -124,6 +128,29 @@ let () =
     | a :: _ -> Printf.eprintf "unknown argument %S\n" a; exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !soak then begin
+    (* The sharded-service capstone: 64 nodes per set, a 1M-lock-set
+       namespace, Zipf-skewed multi-million-request traffic, at 1/2/4
+       shards. --soak-scale R shrinks the round count for quick looks.
+       Prints a table and exits; results are recorded in EXPERIMENTS.md
+       ("Sharding"). *)
+    let rounds = max 1 (int_of_float (250.0 *. !soak_scale)) in
+    let rows = Suite.soak ~rounds () in
+    Printf.printf "shards | grants | wall s | req/s | digest | bursts per shard\n";
+    Printf.printf "-------+--------+--------+-------+--------+-----------------\n";
+    List.iter
+      (fun (r : Suite.soak_row) ->
+        Printf.printf "%6d | %6d | %6.1f | %5.0f | %Lx | %s\n" r.Suite.soak_shards
+          r.Suite.soak_grants r.Suite.soak_wall_s r.Suite.soak_req_per_s r.Suite.soak_digest
+          (String.concat " " (List.map string_of_int r.Suite.soak_balance)))
+      rows;
+    (match rows with
+    | first :: rest when List.exists (fun (r : Suite.soak_row) -> r.Suite.soak_digest <> first.Suite.soak_digest) rest ->
+        prerr_endline "FAIL: digest varies with shard count";
+        exit 1
+    | _ -> ());
+    exit 0
+  end;
   let smoke = !smoke || Sys.getenv_opt "BENCH_QUICK" <> None in
   let no_gate = !no_gate || Sys.getenv_opt "BENCH_NO_GATE" <> None in
   let cores = Domain.recommended_domain_count () in
@@ -141,6 +168,15 @@ let () =
       (fun n -> (Printf.sprintf "nodes%d_req_per_s" n, Suite.throughput ~nodes:n ~rounds:throughput_rounds ()))
       throughput_nodes
   in
+  (* Sharded-service rows ride the same aggregate section (not gated):
+     req/s through the full shard round loop at 1, 2 and 4 shards. *)
+  let shard_rounds = if smoke then 4 else 40 in
+  let shard_throughput =
+    List.map
+      (fun s ->
+        (Printf.sprintf "shards%d_req_per_s" s, Suite.shard_throughput ~shards:s ~rounds:shard_rounds ()))
+      [ 1; 2; 4 ]
+  in
   let sweeps = sweep_timings ~jobs ~nodes () in
   let matches = parallel_matches ~jobs ~nodes () in
   let b = Buffer.create 4096 in
@@ -156,7 +192,8 @@ let () =
     (obj_of_assoc ~render:fl (List.map (fun r -> (r.Suite.name, r.Suite.ns)) micro));
   add_kv b ~last:false "microbench_minor_words_per_run"
     (obj_of_assoc ~render:fl (List.map (fun r -> (r.Suite.name, r.Suite.minor_words)) micro));
-  add_kv b ~last:false "aggregate_requests_per_sec" (obj_of_assoc ~render:fl throughput);
+  add_kv b ~last:false "aggregate_requests_per_sec"
+    (obj_of_assoc ~render:fl (throughput @ shard_throughput));
   let sweep_kvs =
     List.concat_map
       (fun s -> [ (s.name ^ "_jobs1_s", s.seq_s); (Printf.sprintf "%s_jobs%d_s" s.name jobs, s.par_s) ])

@@ -257,6 +257,39 @@ let bench_wire_framed_batch =
            off := !off + 4 + len
          done))
 
+(* The migration handoff's wire cost: one Handoff frame carrying a real
+   two-burst bucket store (full per-node protocol state), through the
+   same encoder/decoder the live migration path uses. This is the byte
+   price of moving a bucket. *)
+let handoff_env =
+  let cfg = Dcs_shard.Router.default_config in
+  let cell = Dcs_shard.Cell.create ~latency:cfg.Dcs_shard.Router.latency
+      ~nodes:cfg.Dcs_shard.Router.nodes () in
+  let tbl = Hashtbl.create 4 in
+  ignore (Dcs_shard.Router.run_burst cfg cell tbl { Dcs_shard.Traffic.set = 0; burst = 0 });
+  ignore (Dcs_shard.Router.run_burst cfg cell tbl { Dcs_shard.Traffic.set = 0; burst = 1 });
+  {
+    Dcs_wire.Codec.src = 0;
+    lock = 0;
+    payload =
+      Dcs_wire.Codec.Shard
+        (Dcs_wire.Shard_msg.Handoff
+           {
+             bucket = 0;
+             version = 1;
+             entries = Dcs_shard.Router.entries_of_store tbl;
+             parked = [ (0, 2) ];
+           });
+  }
+
+let bench_handoff_encode = bench_wire_encode "shard handoff encode (reused writer)" handoff_env
+
+let bench_handoff_decode =
+  let data = Bytes.of_string (Dcs_wire.Codec.encode handoff_env) in
+  let len = Bytes.length data in
+  Test.make ~name:"shard handoff decode (materialized)"
+    (Staged.stage (fun () -> ignore (Dcs_wire.Codec.decode_sub data ~off:0 ~len)))
+
 (* The transport's metrics hooks, as the runner's hot paths pay them:
    handles resolved once at create time, then per-event atomic counter
    increments, a gauge store, and one log-scaled histogram observation.
@@ -311,6 +344,8 @@ let all =
     bench_wire_skim;
     bench_wire_decode;
     bench_wire_framed_batch;
+    bench_handoff_encode;
+    bench_handoff_decode;
     bench_metrics_hook;
     bench_reliable_shim;
   ]
@@ -389,3 +424,69 @@ let throughput ~nodes ~rounds () =
   let requests = !completed in
   assert (requests = (nodes - 1) * rounds);
   float_of_int requests /. dt
+
+(* Aggregate requests per second of the sharded lock-namespace service:
+   the full round loop (traffic plan, bucket routing, pooled-cell bursts,
+   namespace digest) at a given shard count, fanned over [shards] worker
+   domains. Requests = grants — Router.run raises if any burst loses one.
+   On a single-core host the shard counts measure the sharding machinery's
+   overhead rather than parallel speedup; the determinism tests pin the
+   digests equal across shard counts, so the same figures on a multi-core
+   host are directly comparable. *)
+let shard_throughput ~shards ~rounds () =
+  (* The workload is fixed (default buckets/lock sets/burst mix); only
+     the shard count varies, so the rows are directly comparable. *)
+  let cfg = { Dcs_shard.Router.default_config with Dcs_shard.Router.shards; rounds } in
+  let t0 = Unix.gettimeofday () in
+  let r = Dcs_shard.Router.run ~jobs:shards cfg in
+  let dt = Unix.gettimeofday () -. t0 in
+  float_of_int r.Dcs_shard.Router.grants /. dt
+
+(* The capstone soak: a 64-node-per-set population over a 1M-lock-set
+   namespace, Zipf-skewed traffic, millions of requests, run at each
+   shard count with one worker domain per shard. Returns per-shard-count
+   rows: (shards, grants, wall seconds, req/s, digest, per-shard burst
+   counts). The digest must be identical across rows — the determinism
+   tests pin that, and the soak re-checks it — so the rows differ only
+   in how the same work was spread. *)
+type soak_row = {
+  soak_shards : int;
+  soak_grants : int;
+  soak_wall_s : float;
+  soak_req_per_s : float;
+  soak_digest : int64;
+  soak_balance : int list;  (* bursts per shard *)
+}
+
+let soak ?(shard_counts = [ 1; 2; 4 ]) ?(lock_sets = 1_000_000) ?(nodes = 64) ?(rounds = 250)
+    ?(jobs_per_round = 1250) ?(ops_per_burst = 8) ?(skew = 0.9) () =
+  let cfg =
+    {
+      Dcs_shard.Router.default_config with
+      Dcs_shard.Router.lock_sets;
+      nodes;
+      rounds;
+      jobs_per_round;
+      ops_per_burst;
+      skew;
+      buckets = 64;
+    }
+  in
+  List.map
+    (fun shards ->
+      let cfg = { cfg with Dcs_shard.Router.shards } in
+      let t0 = Unix.gettimeofday () in
+      let r = Dcs_shard.Router.run ~jobs:shards cfg in
+      let wall = Unix.gettimeofday () -. t0 in
+      {
+        soak_shards = shards;
+        soak_grants = r.Dcs_shard.Router.grants;
+        soak_wall_s = wall;
+        soak_req_per_s = float_of_int r.Dcs_shard.Router.grants /. wall;
+        soak_digest = r.Dcs_shard.Router.digest;
+        soak_balance =
+          List.map
+            (fun (s : Dcs_shard.Router.shard_stat) -> s.Dcs_shard.Router.bursts)
+            r.Dcs_shard.Router.shard_stats;
+      })
+    shard_counts

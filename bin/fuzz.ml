@@ -39,6 +39,17 @@ let nodes_arg = Arg.(value & opt int 32 & info [ "nodes" ] ~docv:"N" ~doc:"Clust
 let locks_arg = Arg.(value & opt int 1 & info [ "locks" ] ~docv:"L" ~doc:"Lock count.")
 let ops_arg = Arg.(value & opt int 120 & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per case.")
 
+let zipf_arg =
+  Arg.(value & opt float 0.0 & info [ "zipf" ] ~docv:"THETA"
+         ~doc:"Zipfian lock-choice skew in [0,1): 0 is uniform; 0.99 (the YCSB default) \
+               concentrates conflict on a few hot locks.")
+
+let check_zipf zipf =
+  if zipf < 0.0 || zipf >= 1.0 then begin
+    Printf.eprintf "dcs-fuzz: --zipf must be in [0, 1)\n";
+    exit 2
+  end
+
 let check_plan plan =
   match plan with
   | Some p when not (List.mem p Dcs_fault.Plan.names) ->
@@ -63,14 +74,15 @@ let run_cmd =
   let verbose_flag =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print a line per case, not just failures.")
   in
-  let run seeds seed0 nodes locks ops plan mutation max_fails verbose =
+  let run seeds seed0 nodes locks ops zipf plan mutation max_fails verbose =
     check_plan plan;
+    check_zipf zipf;
     let fails = ref 0 and run_count = ref 0 in
     let t0 = Unix.gettimeofday () in
     (try
        for i = 0 to seeds - 1 do
          let seed = Int64.add seed0 (Int64.of_int i) in
-         let case = Fuzz.case ?plan ?mutation ~seed ~nodes ~locks ~ops () in
+         let case = Fuzz.case ?plan ?mutation ~zipf ~seed ~nodes ~locks ~ops () in
          let v = Fuzz.run case in
          incr run_count;
          if Fuzz.failed v then begin
@@ -89,8 +101,8 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Fuzz seed-deterministic schedules through the distributed protocol, checking \
              safety invariants on every step and oracle conformance on the trace.")
-    Term.(const run $ seeds_arg $ seed0_arg $ nodes_arg $ locks_arg $ ops_arg $ plan_arg
-          $ mutation_arg $ max_fails_arg $ verbose_flag)
+    Term.(const run $ seeds_arg $ seed0_arg $ nodes_arg $ locks_arg $ ops_arg $ zipf_arg
+          $ plan_arg $ mutation_arg $ max_fails_arg $ verbose_flag)
 
 (* {1 replay} *)
 
@@ -143,8 +155,9 @@ let shrink_cmd =
     Arg.(value & opt int 400 & info [ "budget" ] ~docv:"RUNS"
            ~doc:"Max fuzz runs spent shrinking.")
   in
-  let shrink seed nodes locks ops plan mutation from out budget =
+  let shrink seed nodes locks ops zipf plan mutation from out budget =
     check_plan plan;
+    check_zipf zipf;
     let case =
       match from with
       | Some path -> (
@@ -153,7 +166,7 @@ let shrink_cmd =
           | Error msg ->
               Printf.eprintf "dcs-fuzz: %s: %s\n" path msg;
               exit 2)
-      | None -> Fuzz.case ?plan ?mutation ~seed ~nodes ~locks ~ops ()
+      | None -> Fuzz.case ?plan ?mutation ~zipf ~seed ~nodes ~locks ~ops ()
     in
     let v = Fuzz.run case in
     if not (Fuzz.failed v) then begin
@@ -177,8 +190,8 @@ let shrink_cmd =
   Cmd.v
     (Cmd.info "shrink"
        ~doc:"Delta-debug a failing case down to a minimal replayable repro.")
-    Term.(const shrink $ seed_arg $ nodes_arg $ locks_arg $ ops_arg $ plan_arg $ mutation_arg
-          $ from_arg $ out_arg $ budget_arg)
+    Term.(const shrink $ seed_arg $ nodes_arg $ locks_arg $ ops_arg $ zipf_arg $ plan_arg
+          $ mutation_arg $ from_arg $ out_arg $ budget_arg)
 
 let () =
   let doc = "Differential protocol fuzzer with a sequential reference oracle." in

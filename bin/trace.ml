@@ -361,6 +361,37 @@ let analyze files slowest check =
       ]
   end;
 
+  (* Shard balance: the sharded lock-namespace service labels its
+     instruments {shard=N} (Metrics.labelled), one registry per shard
+     process; tabulating them shard-by-shard shows how evenly buckets and
+     traffic are spread. *)
+  let shard_rows =
+    List.filter_map
+      (fun (n, v) ->
+        match Dcs_obs.Metrics.shard_label n with
+        | Some (base, shard) -> Some (shard, base, v)
+        | None -> None)
+      metric_totals
+  in
+  if shard_rows <> [] then begin
+    Printf.printf "\nShard balance (metrics labelled {shard=N})\n";
+    let ids = List.sort_uniq compare (List.map (fun (s, _, _) -> s) shard_rows) in
+    let bases = List.sort_uniq compare (List.map (fun (_, b, _) -> b) shard_rows) in
+    let rows =
+      List.map
+        (fun id ->
+          string_of_int id
+          :: List.map
+               (fun base ->
+                 match List.find_opt (fun (s, b, _) -> s = id && b = base) shard_rows with
+                 | Some (_, _, v) -> Printf.sprintf "%.0f" v
+                 | None -> "-")
+               bases)
+        ids
+    in
+    print_string (Table.render ~header:("shard" :: bases) rows)
+  end;
+
   (* Gauges (sim traces). *)
   let gauges = List.concat_map (fun (s : Merge.shard) -> s.Merge.gauges) shards in
   if gauges <> [] then begin

@@ -35,12 +35,12 @@ let mutation_of_string = function
   | "ignore-frozen" -> Some Dcs_hlock.Node.Ignore_frozen
   | _ -> None
 
-let case ?plan ?mutation ?(max_overtakes = 100) ~seed ~nodes ~locks ~ops () =
+let case ?plan ?mutation ?(max_overtakes = 100) ?zipf ~seed ~nodes ~locks ~ops () =
   (match plan with
   | Some p when not (List.mem p Dcs_fault.Plan.names) ->
       invalid_arg ("Fuzz.case: unknown plan " ^ p)
   | _ -> ());
-  { seed; script = Script.generate ~seed ~nodes ~locks ~ops; plan; mutation; max_overtakes }
+  { seed; script = Script.generate ?zipf ~seed ~nodes ~locks ~ops (); plan; mutation; max_overtakes }
 
 let mean_latency_ms = 150.0
 

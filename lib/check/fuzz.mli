@@ -42,11 +42,13 @@ type verdict = {
 }
 
 (** [case ~seed ~nodes ~locks ~ops ()] generates the script from the same
-    seed. [max_overtakes] defaults to 100. *)
+    seed. [max_overtakes] defaults to 100; [zipf] skews the lock choice
+    (see {!Script.generate}). *)
 val case :
   ?plan:string ->
   ?mutation:Dcs_hlock.Node.mutation ->
   ?max_overtakes:int ->
+  ?zipf:float ->
   seed:int64 ->
   nodes:int ->
   locks:int ->

@@ -25,9 +25,16 @@ let draw_mode rng =
   else if r < 80 then Mode.IW
   else Mode.W
 
-let generate ~seed ~nodes ~locks ~ops =
+let generate ?(zipf = 0.0) ~seed ~nodes ~locks ~ops () =
   if nodes < 1 || locks < 1 || ops < 0 then invalid_arg "Script.generate";
+  if zipf < 0.0 || zipf >= 1.0 then invalid_arg "Script.generate: zipf must be in [0, 1)";
   let rng = Rng.create ~seed in
+  let draw_lock =
+    if zipf <= 0.0 then fun () -> Rng.int rng ~bound:locks
+    else
+      let z = Dcs_workload.Zipf.create ~n:locks ~theta:zipf in
+      fun () -> Dcs_workload.Zipf.sample z rng
+  in
   let t = ref 0.0 in
   let make _ =
     (* Bursty arrivals: a short mean inter-arrival keeps several requests
@@ -42,7 +49,7 @@ let generate ~seed ~nodes ~locks ~ops =
     {
       at = !t;
       node = Rng.int rng ~bound:nodes;
-      lock = Rng.int rng ~bound:locks;
+      lock = draw_lock ();
       mode;
       priority;
       hold;

@@ -30,12 +30,15 @@ type t = {
   ops : op list;  (** ascending [at] *)
 }
 
-(** [generate ~seed ~nodes ~locks ~ops] draws a conflict-heavy workload:
-    bursty exponential arrivals, a mode mix skewed toward the conflicting
-    end of Table 1, short exponential holds, occasional non-zero
-    priorities, and upgrades on roughly half the [U] requests. Equal
-    arguments yield equal scripts. *)
-val generate : seed:int64 -> nodes:int -> locks:int -> ops:int -> t
+(** [generate ~seed ~nodes ~locks ~ops ()] draws a conflict-heavy
+    workload: bursty exponential arrivals, a mode mix skewed toward the
+    conflicting end of Table 1, short exponential holds, occasional
+    non-zero priorities, and upgrades on roughly half the [U] requests.
+    [zipf] (theta in [0,1), default 0 = uniform) skews the lock choice
+    toward hot locks ({!Dcs_workload.Zipf}), concentrating conflict on a
+    few objects — the hot-entry regime sharded namespaces must survive.
+    Equal arguments yield equal scripts. *)
+val generate : ?zipf:float -> seed:int64 -> nodes:int -> locks:int -> ops:int -> unit -> t
 
 (** Issue time of the last op (0 for the empty script). *)
 val last_issue : t -> float

@@ -1,9 +1,8 @@
 module Mode = Dcs_modes.Mode
-module Rng = Dcs_sim.Rng
 module Dist = Dcs_sim.Dist
-module Engine = Dcs_sim.Engine
-module Net = Dcs_runtime.Net
+module Cell = Dcs_shard.Cell
 module Hlock_cluster = Dcs_runtime.Hlock_cluster
+module Node = Dcs_hlock.Node
 
   type ticket = {
     node : int;
@@ -12,18 +11,15 @@ module Hlock_cluster = Dcs_runtime.Hlock_cluster
     mutable state : [ `Held | `Released | `Abandoned ];
   }
 
-  type t = {
-    engine : Engine.t;
-    net : Net.t;
-    cluster : Hlock_cluster.t;
-    names : string list;
-    index : (string, int) Hashtbl.t;
-    mutable outstanding : int;
-    kick_scheduled : bool ref;
-  }
+  (* The service is a naming facade over one shard execution cell
+     ({!Dcs_shard.Cell}): the cell owns the clock, the network, the
+     protocol cluster and the outstanding-request watchdog; the service
+     keeps the name table and the ticket discipline. The sharded router
+     pools the same cells across lock sets — a single-service program is
+     the one-cell, one-reset special case. *)
+  type t = { cell : Cell.t; names : string list; index : (string, int) Hashtbl.t }
 
-  let create ?config ?(latency = Dist.uniform_around 150.0) ?(seed = 42L) ?(oracle = false)
-      ~nodes ~locks () =
+  let create ?config ?latency ?(seed = 42L) ?(oracle = false) ~nodes ~locks () =
     if locks = [] then invalid_arg "Service.create: need at least one lock name";
     let index = Hashtbl.create 16 in
     List.iteri
@@ -32,42 +28,23 @@ module Hlock_cluster = Dcs_runtime.Hlock_cluster
           invalid_arg (Printf.sprintf "Service.create: duplicate lock name %S" name);
         Hashtbl.replace index name i)
       locks;
-    let engine = Engine.create () in
-    let rng = Rng.create ~seed in
-    let net = Net.create ~engine ~latency ~rng () in
-    let cluster = Hlock_cluster.create ?config ~oracle ~net ~nodes ~locks:(List.length locks) () in
-    { engine; net; cluster; names = locks; index; outstanding = 0; kick_scheduled = ref false }
+    let cell = Cell.create ?latency ~nodes () in
+    Cell.reset ?config ~oracle cell ~seed ~locks:(List.length locks);
+    { cell; names = locks; index }
 
   let lock_names t = t.names
 
   let lock_id t name =
-    match Hashtbl.find_opt t.index name with
-    | Some i -> i
-    | None -> raise Not_found
-
-  (* The custody watchdog runs while requests are outstanding. *)
-  let rec ensure_kicking t =
-    if not !(t.kick_scheduled) then begin
-      t.kick_scheduled := true;
-      Engine.schedule t.engine ~after:(8.0 *. Net.mean_latency t.net) (fun () ->
-          t.kick_scheduled := false;
-          if t.outstanding > 0 then begin
-            Hlock_cluster.kick_all t.cluster;
-            ensure_kicking t
-          end)
-    end
+    match Hashtbl.find_opt t.index name with Some i -> i | None -> raise Not_found
 
   let lock ?priority t ~node ~name ~mode k =
     let lock = lock_id t name in
-    t.outstanding <- t.outstanding + 1;
-    ensure_kicking t;
     (* The grant may fire synchronously inside [request], before we know
        the ticket number: bind it through the ticket record. *)
     let ticket = { node; lock; seq = -1; state = `Held } in
     let granted_early = ref false in
     let seq =
-      Hlock_cluster.request ?priority t.cluster ~node ~lock ~mode ~on_granted:(fun () ->
-          t.outstanding <- t.outstanding - 1;
+      Cell.request ?priority t.cell ~node ~lock ~mode ~on_granted:(fun () ->
           if ticket.seq >= 0 then k ticket else granted_early := true)
     in
     ticket.seq <- seq;
@@ -75,17 +52,14 @@ module Hlock_cluster = Dcs_runtime.Hlock_cluster
 
   let try_lock t ~node ~name ~mode ~timeout k =
     let lock = lock_id t name in
-    t.outstanding <- t.outstanding + 1;
-    ensure_kicking t;
     let answered = ref false in
     let ticket = { node; lock; seq = -1; state = `Held } in
     let granted_early = ref false in
     let on_grant () =
-      t.outstanding <- t.outstanding - 1;
       if !answered then begin
         (* The caller already gave up: release the late grant. *)
         ticket.state <- `Abandoned;
-        Hlock_cluster.release t.cluster ~node ~lock ~seq:ticket.seq
+        Cell.release t.cell ~node ~lock ~seq:ticket.seq
       end
       else begin
         answered := true;
@@ -93,12 +67,12 @@ module Hlock_cluster = Dcs_runtime.Hlock_cluster
       end
     in
     let seq =
-      Hlock_cluster.request t.cluster ~node ~lock ~mode ~on_granted:(fun () ->
+      Cell.request t.cell ~node ~lock ~mode ~on_granted:(fun () ->
           if ticket.seq >= 0 then on_grant () else granted_early := true)
     in
     ticket.seq <- seq;
     if !granted_early then on_grant ();
-    Engine.schedule t.engine ~after:timeout (fun () ->
+    Cell.schedule t.cell ~after:timeout (fun () ->
         if not !answered then begin
           answered := true;
           k None
@@ -109,7 +83,7 @@ module Hlock_cluster = Dcs_runtime.Hlock_cluster
     | `Held -> ()
     | `Released | `Abandoned -> invalid_arg "Service.unlock: ticket already released");
     ticket.state <- `Released;
-    Hlock_cluster.release t.cluster ~node:ticket.node ~lock:ticket.lock ~seq:ticket.seq
+    Cell.release t.cell ~node:ticket.node ~lock:ticket.lock ~seq:ticket.seq
 
   let change_mode t ticket ~mode k =
     if not (Mode.equal mode Mode.W) then
@@ -117,25 +91,56 @@ module Hlock_cluster = Dcs_runtime.Hlock_cluster
     (match ticket.state with
     | `Held -> ()
     | `Released | `Abandoned -> invalid_arg "Service.change_mode: ticket not held");
-    t.outstanding <- t.outstanding + 1;
-    ensure_kicking t;
-    Hlock_cluster.upgrade t.cluster ~node:ticket.node ~lock:ticket.lock ~seq:ticket.seq
-      ~on_upgraded:(fun () ->
-        t.outstanding <- t.outstanding - 1;
-        k ())
+    Cell.upgrade t.cell ~node:ticket.node ~lock:ticket.lock ~seq:ticket.seq
+      ~on_upgraded:(fun () -> k ())
 
-  let now t = Engine.now t.engine
+  let now t = Cell.now t.cell
 
-  let schedule t ~after f = Engine.schedule t.engine ~after f
+  let schedule t ~after f = Cell.schedule t.cell ~after f
 
   let run t =
-    (match Engine.run t.engine with
-    | Engine.Drained -> ()
-    | Engine.Horizon_reached | Engine.Event_limit ->
-        failwith "Service.run: simulation did not drain");
-    if t.outstanding > 0 then
-      failwith (Printf.sprintf "Service.run: %d requests never granted" t.outstanding)
+    match Cell.drain t.cell with
+    | Ok () -> ()
+    | Error `Undrained -> failwith "Service.run: simulation did not drain"
+    | Error (`Stuck n) -> failwith (Printf.sprintf "Service.run: %d requests never granted" n)
 
-  let message_counters t = Net.counters t.net
+  let message_counters t = Cell.message_counters t.cell
 
-  let mean_latency t = Net.mean_latency t.net
+  let mean_latency t = Cell.mean_latency t.cell
+
+  (* {1 Enumeration and stats} *)
+
+  type lock_stats = {
+    name : string;
+    held : (int * Mode.t) list;
+    waiting : int;
+    cached_nodes : int;
+    token_node : int;
+    messages : Dcs_proto.Counters.t;
+  }
+
+  let lock_count t = List.length t.names
+
+  let stats_of t ~lock ~name =
+    let cluster = Cell.cluster t.cell in
+    let nodes = Cell.nodes t.cell in
+    let held = ref [] and waiting = ref 0 and cached_nodes = ref 0 and token_node = ref (-1) in
+    for node = nodes - 1 downto 0 do
+      let n = Hlock_cluster.node cluster ~lock ~node in
+      List.iter (fun (_seq, mode) -> held := (node, mode) :: !held) (Node.held n);
+      waiting := !waiting + List.length (Node.queue n) + (if Node.pending n = None then 0 else 1);
+      if Node.cached n <> [] then incr cached_nodes;
+      if Node.is_token n then token_node := node
+    done;
+    {
+      name;
+      held = !held;
+      waiting = !waiting;
+      cached_nodes = !cached_nodes;
+      token_node = !token_node;
+      messages = Hlock_cluster.lock_counters cluster ~lock;
+    }
+
+  let stats t ~name = stats_of t ~lock:(lock_id t name) ~name
+
+  let all_stats t = List.mapi (fun lock name -> stats_of t ~lock ~name) t.names

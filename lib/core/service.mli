@@ -68,3 +68,26 @@ module Dist = Dcs_sim.Dist
 
   (** Mean point-to-point latency of the configured model. *)
   val mean_latency : t -> float
+
+  (** {2 Enumeration and stats}
+
+      Administrative introspection over the service's lock sets, the
+      per-set view the sharded router aggregates across shards. *)
+
+  (** A point-in-time view of one lock object. *)
+  type lock_stats = {
+    name : string;
+    held : (int * Mode.t) list;  (** (node, mode) per granted ticket *)
+    waiting : int;  (** requests queued or pending across nodes *)
+    cached_nodes : int;  (** nodes holding a non-empty copyset *)
+    token_node : int;  (** current token holder *)
+    messages : Dcs_proto.Counters.t;  (** this lock's protocol traffic *)
+  }
+
+  val lock_count : t -> int
+
+  (** Stats for one named lock. Raises [Not_found] for unknown names. *)
+  val stats : t -> name:string -> lock_stats
+
+  (** Stats for every lock, in creation order. *)
+  val all_stats : t -> lock_stats list

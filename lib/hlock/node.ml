@@ -339,6 +339,19 @@ let fresh_epoch t =
   t.epoch_counter <- t.epoch_counter + 1;
   t.epoch_counter
 
+(* Record epochs at one node come from TWO counters: [grant_copy] draws from
+   ours, but a token handoff records the sender at an epoch drawn from the
+   sender's counter. The stale-release guard in [handle_release] compares by
+   equality, so it is sound only if successive epochs for the same pair never
+   collide. Lamport-merge every epoch received in a relationship-establishing
+   message before we next draw: then any later draw, by either side, is
+   strictly greater than every earlier epoch of the pair. Without this, a
+   grant re-using a token-era epoch lets the pre-grant weakening release
+   through, leaving the parent's record under the child's owned mode — and a
+   record that under-covers narrows freezes past the very mode a queued
+   writer needs revoked, so it starves. *)
+let absorb_epoch t e = if e > t.epoch_counter then t.epoch_counter <- e
+
 let tick t =
   t.clock <- t.clock + 1;
   t.clock
@@ -609,7 +622,13 @@ let forward_onward ?via t (r : Msg.request) =
   in
   match dst with
   | Some p ->
-      let r = if r.Msg.hops > 0 && List.length r.Msg.path >= t.peers then { r with Msg.path = [ t.id; r.Msg.requester ] } else r in
+      (* Resetting the sweep must NOT keep the requester excluded: the
+         token can land at the requester while its request is mid-sweep
+         (a token transfer serving another of its requests), and a
+         request without local custody — forwarded past an unrelated
+         pending — exists only in flight. Excluding the requester then
+         makes the sweep skip the one node that can serve it, forever. *)
+      let r = if r.Msg.hops > 0 && List.length r.Msg.path >= t.peers then { r with Msg.path = [ t.id ] } else r in
       (if Msg.request_same r (match t.pending with Some p -> p | None -> { r with Msg.seq = -1 }) then
          t.pending_trail <- Some p);
       (match t.obs with
@@ -809,6 +828,7 @@ let detach_from_old_parent t ~src =
 let rec handle_grant t ~src (r : Msg.request) ~epoch ~recorded ~ancestry =
   observe_clock t r.timestamp;
   observe_hint t r.hint;
+  absorb_epoch t epoch;
   if t.token then begin
     (* A copy grant can race a token transfer: this request was still
        circulating when the token reached us (serving a younger request of
@@ -825,6 +845,24 @@ let rec handle_grant t ~src (r : Msg.request) ~epoch ~recorded ~ancestry =
   else handle_grant_at_child t ~src r ~epoch ~recorded ~ancestry
 
 and handle_grant_at_child t ~src (r : Msg.request) ~epoch ~recorded ~ancestry =
+  if Hashtbl.mem t.children src then begin
+    (* The granter is currently OUR child (e.g. a token handoff left us
+       its residual record while our request still circulated): adopting
+       it as accounting parent would close a two-node copyset cycle in
+       which each node's owned mode is justified only by the other, so
+       every release one sends flips the other's owned mode and triggers
+       a release back — an unbounded Release ping-pong (and no freeze
+       can unwind it either). Same cure as the token-race above: cancel
+       the granter's fresh record of us instead of adopting it. Our own
+       record of [src] is what justified its grant, so our owned mode
+       usually covers the request — serve it ourselves; otherwise keep
+       it moving toward the token. *)
+    emit t src (Msg.Release { new_owned = None; epoch });
+    let mo = owned_code t in
+    if Decision.can_child_grant ~owned:mo r.mode && not (is_frozen t r.mode) then grant_self t r
+    else forward_onward t r
+  end
+  else begin
   t.ancestry <- src :: ancestry;
   let same_parent = t.accounted_parent = Some src in
   detach_from_old_parent t ~src;
@@ -857,11 +895,13 @@ and handle_grant_at_child t ~src (r : Msg.request) ~epoch ~recorded ~ancestry =
   report_owned t ~force:false;
   refresh_freezes t;
   serve_queue t
+  end
 
 let handle_token t ~src (m : Msg.t) =
   match m with
   | Msg.Token { serving; sender_owned; sender_epoch; queue; frozen } ->
       observe_clock t serving.timestamp;
+      absorb_epoch t sender_epoch;
       detach_from_old_parent t ~src;
       t.accounted_parent <- None;
       t.last_reported <- None;
@@ -1019,3 +1059,119 @@ let kick t =
         t.queue
   end
   else t.kick_marks <- []
+
+(* {1 State snapshots (shard migration)}
+
+   A snapshot is the node's complete persistent protocol state — routing
+   and accounting tree anchors, the copyset with its epochs, cached and
+   frozen mode sets, the local queue, clocks and counters — as plain data,
+   so a lock object's whole per-node population can travel in a shard
+   handoff message and be rebuilt on the receiving shard. Only quiescent
+   nodes export: locally held instances and the in-flight pending request
+   reference live client callbacks, which cannot cross a process boundary;
+   the sharding layer parks and replays the traffic around the handoff
+   instead. Transient fields ([kick_marks], [pending_trail], send-batch
+   buffers) are deliberately dropped — the first holds staleness marks for
+   a pending request that must be [None] at export, the second is only
+   ever assigned, and the last must be empty outside a batch scope. *)
+
+type snapshot = {
+  s_token : bool;
+  s_parent : Node_id.t option;
+  s_parent_stamp : int;
+  s_accounted_parent : Node_id.t option;
+  s_accounted_epoch : int;
+  s_last_reported : Mode.t option;
+  s_cached : Mode_set.t;
+  s_children : (Node_id.t * Mode.t * int) list;
+  s_queue : Msg.request list;
+  s_frozen : Mode_set.t;
+  s_sent_freeze : (Node_id.t * Mode_set.t) list;
+  s_tenure : int;
+  s_hint : int * Node_id.t;
+  s_last_granter : Node_id.t option;
+  s_ancestry : Node_id.t list;
+  s_saw_transfer : bool;
+  s_served_ever : bool;
+  s_next_seq : int;
+  s_clock : int;
+  s_epoch_counter : int;
+}
+
+let export t =
+  if Hashtbl.length t.held > 0 then
+    invalid_arg "Hlock.Node.export: node holds granted instances";
+  if t.pending <> None then invalid_arg "Hlock.Node.export: node has a pending request";
+  if t.batch_depth > 0 then invalid_arg "Hlock.Node.export: open send batch";
+  {
+    s_token = t.token;
+    s_parent = t.parent;
+    s_parent_stamp = t.parent_stamp;
+    s_accounted_parent = t.accounted_parent;
+    s_accounted_epoch = t.accounted_epoch;
+    s_last_reported = t.last_reported;
+    s_cached = t.cached;
+    s_children =
+      Hashtbl.fold (fun c (m, e) acc -> (c, m, e) :: acc) t.children []
+      |> List.sort (fun (a, _, _) (b, _, _) -> compare a b);
+    s_queue = t.queue;
+    s_frozen = t.frozen;
+    s_sent_freeze =
+      Hashtbl.fold (fun c ms acc -> (c, ms) :: acc) t.sent_freeze []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+    s_tenure = t.tenure;
+    s_hint = t.hint;
+    s_last_granter = t.last_granter;
+    s_ancestry = t.ancestry;
+    s_saw_transfer = t.saw_transfer;
+    s_served_ever = t.served_ever;
+    s_next_seq = t.next_seq;
+    s_clock = t.clock;
+    s_epoch_counter = t.epoch_counter;
+  }
+
+let restore ?(config = default_config) ?obs ~id ~peers ~send ~on_granted ~on_upgraded
+    (s : snapshot) =
+  let config = if config.freezing then config else { config with caching = false } in
+  if peers < 1 || id < 0 || id >= peers then invalid_arg "Hlock.Node.restore: id out of range";
+  let t =
+    {
+      config;
+      id;
+      peers;
+      send;
+      on_granted;
+      on_upgraded;
+      obs;
+      token = s.s_token;
+      parent = s.s_parent;
+      parent_stamp = s.s_parent_stamp;
+      accounted_parent = s.s_accounted_parent;
+      accounted_epoch = s.s_accounted_epoch;
+      last_reported = s.s_last_reported;
+      held = Hashtbl.create 8;
+      held_counts = Array.make 5 0;
+      cached = s.s_cached;
+      children = Hashtbl.create 8;
+      queue = s.s_queue;
+      pending = None;
+      pending_trail = None;
+      frozen = s.s_frozen;
+      sent_freeze = Hashtbl.create 8;
+      kick_marks = [];
+      tenure = s.s_tenure;
+      hint = s.s_hint;
+      last_granter = s.s_last_granter;
+      ancestry = s.s_ancestry;
+      saw_transfer = s.s_saw_transfer;
+      served_ever = s.s_served_ever;
+      next_seq = s.s_next_seq;
+      clock = s.s_clock;
+      epoch_counter = s.s_epoch_counter;
+      batch_depth = 0;
+      batched = [];
+    }
+  in
+  List.iter (fun (c, m, e) -> Hashtbl.replace t.children c (m, e)) s.s_children;
+  List.iter (fun (c, ms) -> Hashtbl.replace t.sent_freeze c ms) s.s_sent_freeze;
+  t

@@ -209,6 +209,59 @@ val pending : t -> Msg.request option
 (** One-line state summary for traces. *)
 val pp_state : Format.formatter -> t -> unit
 
+(** {1 State snapshots (shard migration)}
+
+    The node's complete persistent protocol state as plain data, so a
+    lock object's per-node population can travel inside a shard-handoff
+    wire message ({!Dcs_wire.Codec}) and be rebuilt on the receiving
+    shard. Fields mirror the state model above; [s_children] and
+    [s_sent_freeze] are sorted by node id so equal states export equal
+    snapshots regardless of hash-table history. *)
+
+type snapshot = {
+  s_token : bool;
+  s_parent : Node_id.t option;
+  s_parent_stamp : int;
+  s_accounted_parent : Node_id.t option;
+  s_accounted_epoch : int;
+  s_last_reported : Mode.t option;
+  s_cached : Mode_set.t;
+  s_children : (Node_id.t * Mode.t * int) list;  (** copyset: (child, mode, epoch) *)
+  s_queue : Msg.request list;
+  s_frozen : Mode_set.t;
+  s_sent_freeze : (Node_id.t * Mode_set.t) list;
+  s_tenure : int;
+  s_hint : int * Node_id.t;
+  s_last_granter : Node_id.t option;
+  s_ancestry : Node_id.t list;
+  s_saw_transfer : bool;
+  s_served_ever : bool;
+  s_next_seq : int;
+  s_clock : int;
+  s_epoch_counter : int;
+}
+
+(** Capture this node's persistent state. The node must be client-quiescent:
+    no locally held instances, no pending request, no open send batch —
+    raises [Invalid_argument] otherwise. (Queued {e remote} requests and
+    copyset state are part of the snapshot; only live client callbacks
+    cannot cross a shard boundary.) *)
+val export : t -> snapshot
+
+(** Rebuild a node from a snapshot with fresh transport and client hooks —
+    the receiving end of a shard handoff. [restore (export t)] behaves
+    identically to [t] for every subsequent input. *)
+val restore :
+  ?config:config ->
+  ?obs:(Dcs_obs.Event.scope -> Dcs_obs.Event.kind -> unit) ->
+  id:Node_id.t ->
+  peers:int ->
+  send:(dst:Node_id.t -> Msg.t -> unit) ->
+  on_granted:(Msg.request -> unit) ->
+  on_upgraded:(int -> unit) ->
+  snapshot ->
+  t
+
 (** {1 Global diagnostic counters}
 
     Process-wide tallies of routing behaviour, for experiments and tests:

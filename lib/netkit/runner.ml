@@ -125,7 +125,7 @@ let record_written t ~dst (env : Codec.envelope) ~payload_bytes =
                 (Dcs_obs.Event.Span { requester; seq })
                 (Dcs_obs.Event.Sent { cls; dst })
           | None -> ())
-      | Codec.Naimi _ -> ())
+      | Codec.Naimi _ | Codec.Shard _ -> ())
 
 (* {1 Outbound connections: one writer thread per peer}
 
@@ -402,6 +402,7 @@ let dispatch t (env : Codec.envelope) =
         Mutex.unlock t.stripes.(lock)
       end
   | Codec.Naimi _ -> Log.err (fun m -> m "unexpected Naimi payload")
+  | Codec.Shard _ -> Log.err (fun m -> m "unexpected Shard payload")
 
 (* Raw-socket framing (no buffered channels): read exactly [n] bytes. *)
 let really_read fd buf n =
@@ -463,7 +464,7 @@ let reader_loop t fd =
                                 (Dcs_obs.Event.Received
                                    { cls = Dcs_hlock.Msg.class_of msg; src = env.Codec.src })
                           | None -> ())
-                      | Codec.Naimi _ -> ())
+                      | Codec.Naimi _ | Codec.Shard _ -> ())
                   | None -> ());
                   dispatch t env;
                   go ()

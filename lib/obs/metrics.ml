@@ -71,6 +71,30 @@ let quantile h q =
   Mutex.unlock h.h_lock;
   v
 
+(* {1 Shard labels}
+
+   A sharded service runs one registry per shard process; labelling the
+   instrument name lets merged telemetry keep the per-shard series apart
+   while staying ordinary (name, kind, value) rows for every existing
+   consumer. *)
+
+let labelled name ~shard =
+  if shard < 0 then invalid_arg "Metrics.labelled: negative shard id";
+  Printf.sprintf "%s{shard=%d}" name shard
+
+let shard_label name =
+  match String.index_opt name '{' with
+  | None -> None
+  | Some i ->
+      let len = String.length name in
+      let tag = "{shard=" in
+      let tlen = String.length tag in
+      if len > i + tlen && String.sub name i tlen = tag && name.[len - 1] = '}' then
+        match int_of_string_opt (String.sub name (i + tlen) (len - i - tlen - 1)) with
+        | Some shard when shard >= 0 -> Some (String.sub name 0 i, shard)
+        | _ -> None
+      else None
+
 let snapshot t =
   let rows =
     with_lock t (fun () ->

@@ -47,3 +47,18 @@ val snapshot : t -> (string * [ `Counter | `Gauge ] * float) list
 (** All instruments as (name, kind, value) rows, sorted by name. Each
     histogram expands to four rows: [<name>.count] (a counter) and
     [<name>.p50]/[.p95]/[.p99] (gauges). *)
+
+(** {2 Shard labels}
+
+    Sharded services ({!Dcs_shard}) run one registry per shard and label
+    instrument names with the owning shard, so merged telemetry keeps the
+    series apart and [dcs-trace] can tabulate shard balance. *)
+
+val labelled : string -> shard:int -> string
+(** [labelled "grants" ~shard:3] is ["grants{shard=3}"]. Raises
+    [Invalid_argument] on a negative shard id. *)
+
+val shard_label : string -> (string * int) option
+(** Parse a labelled name back: [shard_label "grants{shard=3}"] is
+    [Some ("grants", 3)]; [None] for unlabelled names or malformed
+    labels. *)

@@ -135,6 +135,7 @@ let run_hierarchical ?transport ?obs cfg engine net meter =
     end
   in
   Dcs_sim.Engine.schedule engine ~after:kick_period kick_loop;
+  let zipf = Airline.entry_zipf wl in
   let table = 0 and entry_lock e = 1 + e in
   for node = 0 to cfg.nodes - 1 do
     let rng = Dcs_sim.Rng.split master in
@@ -144,7 +145,7 @@ let run_hierarchical ?transport ?obs cfg engine net meter =
         Dcs_sim.Engine.schedule engine ~after:(Dcs_sim.Dist.sample wl.Airline.idle_time rng)
           start_op
     and start_op () =
-      let op = Airline.sample_op wl rng in
+      let op = Airline.sample_op ?zipf wl rng in
       let t0 = Dcs_sim.Engine.now engine in
       let acquired ~release =
         record_acquired meter ~cls:(Airline.op_class op) ~elapsed:(Dcs_sim.Engine.now engine -. t0);
@@ -209,6 +210,7 @@ let run_naimi ?obs cfg engine net meter ~pure =
   let locks = if pure then 1 else wl.Airline.entries in
   let cluster = Naimi_cluster.create ~oracle:cfg.oracle ?obs ~net ~nodes:cfg.nodes ~locks () in
   let master = Dcs_sim.Rng.create ~seed:cfg.seed in
+  let zipf = Airline.entry_zipf wl in
   for node = 0 to cfg.nodes - 1 do
     let rng = Dcs_sim.Rng.split master in
     let remaining = ref wl.Airline.ops_per_node in
@@ -217,7 +219,7 @@ let run_naimi ?obs cfg engine net meter ~pure =
         Dcs_sim.Engine.schedule engine ~after:(Dcs_sim.Dist.sample wl.Airline.idle_time rng)
           start_op
     and start_op () =
-      let op = Airline.sample_op wl rng in
+      let op = Airline.sample_op ?zipf wl rng in
       let t0 = Dcs_sim.Engine.now engine in
       let wanted =
         if pure then [ 0 ]

@@ -143,9 +143,19 @@ let quiescent_violations t =
 
 (* {1 Construction} *)
 
-let create ?(config = Node.default_config) ?(oracle = false) ?transport ?obs ~net ~nodes:n
-    ~locks:l () =
+let create ?(config = Node.default_config) ?(oracle = false) ?transport ?obs ?restore ~net
+    ~nodes:n ~locks:l () =
   if n < 1 then invalid_arg "Hlock_cluster.create: need at least one node";
+  (match restore with
+  | None -> ()
+  | Some (snaps : Node.snapshot array array) ->
+      if Array.length snaps <> l then
+        invalid_arg "Hlock_cluster.create: restore must cover every lock";
+      Array.iter
+        (fun per_node ->
+          if Array.length per_node <> n then
+            invalid_arg "Hlock_cluster.create: restore must cover every node")
+        snaps);
   (* Protocol messages travel through [transport] (default: the raw net);
      chaos runs interpose the Dcs_fault.Reliable shim here. *)
   let transport : Dcs_proto.Link.send =
@@ -221,9 +231,14 @@ let create ?(config = Node.default_config) ?(oracle = false) ?transport ?obs ~ne
                   (fun scope kind ->
                     Dcs_obs.Recorder.record r ~time:(Net.now net) ~lock ~node:id scope kind)
           in
-          Node.create ~config ?obs:node_obs ~id ~peers:n ~is_token:(id = 0)
-            ~parent:(if id = 0 then None else Some 0)
-            ~send ~on_granted ~on_upgraded ())
+          match restore with
+          | None ->
+              Node.create ~config ?obs:node_obs ~id ~peers:n ~is_token:(id = 0)
+                ~parent:(if id = 0 then None else Some 0)
+                ~send ~on_granted ~on_upgraded ()
+          | Some snaps ->
+              Node.restore ~config ?obs:node_obs ~id ~peers:n ~send ~on_granted ~on_upgraded
+                snaps.(lock).(id))
     in
     (* Tie the recursive knot: send closures dereference [ls.engines]. *)
     ls.engines <- engines
@@ -231,6 +246,20 @@ let create ?(config = Node.default_config) ?(oracle = false) ?transport ?obs ~ne
   t
 
 let lock_counters t ~lock = t.locks_arr.(lock).counters
+
+(* The sending half of a shard handoff: the whole per-node population of
+   one lock object as snapshots. Requires transport quiescence for that
+   lock (no token in flight — a token crossing the handoff would be lost)
+   and client quiescence at every node ({!Node.export}'s own checks); the
+   callback tables must be drained too, since waiting continuations cannot
+   travel. *)
+let export_lock t ~lock =
+  let ls = t.locks_arr.(lock) in
+  if ls.tokens_in_flight <> 0 then
+    invalid_arg "Hlock_cluster.export_lock: token in flight";
+  if Hashtbl.length ls.granted_cbs > 0 || Hashtbl.length ls.upgraded_cbs > 0 then
+    invalid_arg "Hlock_cluster.export_lock: clients still waiting";
+  Array.map Node.export ls.engines
 
 (* Global state probe for the sampled invariant auditor (chaos soaks). *)
 let audit_views t =

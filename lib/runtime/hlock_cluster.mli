@@ -23,12 +23,18 @@ type t
     [obs], when given and enabled, receives every node's request-lifecycle
     events (timestamped with the net's clock and tagged with lock and node
     ids) plus per-class message counts and {!Dcs_wire.Codec} byte sizes. A
-    disabled recorder is equivalent to omitting it. *)
+    disabled recorder is equivalent to omitting it.
+
+    [restore], when given, rebuilds every node from a prior
+    {!export_lock} instead of the initial star (indexed
+    [restore.(lock).(node)]; dimensions must match [locks] × [nodes]) —
+    the receiving half of a shard handoff. *)
 val create :
   ?config:Dcs_hlock.Node.config ->
   ?oracle:bool ->
   ?transport:Dcs_proto.Link.send ->
   ?obs:Dcs_obs.Recorder.t ->
+  ?restore:Dcs_hlock.Node.snapshot array array ->
   net:Net.t ->
   nodes:int ->
   locks:int ->
@@ -57,6 +63,14 @@ val upgrade : t -> node:int -> lock:int -> seq:int -> on_upgraded:(unit -> unit)
 
 (** Messages sent so far on behalf of one lock object, by class. *)
 val lock_counters : t -> lock:int -> Dcs_proto.Counters.t
+
+(** The sending half of a shard handoff: one lock object's whole per-node
+    population as {!Dcs_hlock.Node.snapshot}s, ready to travel in a
+    handoff message and be rebuilt with [create ~restore]. Requires
+    quiescence for that lock — no token in flight, no waiting client
+    callbacks, and {!Dcs_hlock.Node.export}'s per-node checks — and raises
+    [Invalid_argument] otherwise. *)
+val export_lock : t -> lock:int -> Dcs_hlock.Node.snapshot array
 
 (** Per-lock global state snapshot for {!Dcs_fault.Audit} sampling: token
     holders and in-flight transfers, all held and cached modes, queue and

@@ -46,6 +46,19 @@ let create ~engine ~latency ?(topology = Dcs_sim.Topology.uniform) ~rng
     duplicated = 0;
   }
 
+let reset t =
+  (* Back to the just-created state so one net can carry many independent
+     runs (the engine, rng and trace are owned by the caller, which resets
+     or reseeds them alongside). Per-link delivery floors must go: they
+     are absolute times from the previous run's clock. *)
+  Hashtbl.reset t.last_delivery;
+  Counters.reset t.counters;
+  t.in_flight <- 0;
+  t.fault <- None;
+  Queue.clear t.held;
+  t.dropped <- 0;
+  t.duplicated <- 0
+
 let set_fault t fault = t.fault <- Some fault
 
 let clear_fault t = t.fault <- None

@@ -26,6 +26,12 @@ val create :
   unit ->
   t
 
+(** Rewind to the just-created state — counters zeroed, per-link FIFO
+    floors forgotten, fault hook cleared, held/drop/duplicate accounting
+    reset — so a pooled net can carry many independent runs. The caller
+    owns the engine, rng and trace and resets/reseeds them alongside. *)
+val reset : t -> unit
+
 (** [send t ~src ~dst ~cls ~describe deliver] counts one message of class
     [cls], and schedules [deliver ()] after a latency draw (kept FIFO with
     earlier [src]→[dst] messages). [describe] is forced only when tracing. *)

@@ -1,0 +1,93 @@
+(* One shard's execution cell: the engine room that used to live inside
+   Core.Service (simulated clock + network + protocol cluster + the
+   outstanding-request watchdog), extracted so it can be pooled. A shard
+   serves its lock sets as a sequence of bursts; [reset] rewinds the
+   clock, the network and the RNG in place and rebuilds the protocol
+   cluster — from the initial star, or from a handoff snapshot — without
+   reallocating the engine's event heap or the network's delivery
+   tables. A reset cell is observationally identical to a freshly built
+   one, which is what makes burst execution a pure function of
+   (seed, restored state) and hence shard placement irrelevant to
+   results. *)
+
+module Rng = Dcs_sim.Rng
+module Dist = Dcs_sim.Dist
+module Engine = Dcs_sim.Engine
+module Net = Dcs_runtime.Net
+module Hlock_cluster = Dcs_runtime.Hlock_cluster
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;  (* drives network latency draws; reseeded per burst *)
+  net : Net.t;
+  nodes : int;
+  mutable cluster : Hlock_cluster.t;
+  mutable outstanding : int;
+  kick_scheduled : bool ref;
+}
+
+(* Construction mirrors the original Service.create order exactly:
+   engine, rng, net, cluster. *)
+let create ?(latency = Dist.uniform_around 150.0) ~nodes () =
+  if nodes < 1 then invalid_arg "Cell.create: need at least one node";
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:0L in
+  let net = Net.create ~engine ~latency ~rng () in
+  let cluster = Hlock_cluster.create ~net ~nodes ~locks:1 () in
+  { engine; rng; net; nodes; cluster; outstanding = 0; kick_scheduled = ref false }
+
+let reset ?config ?(oracle = false) ?restore t ~seed ~locks =
+  if locks < 1 then invalid_arg "Cell.reset: need at least one lock";
+  Engine.reset t.engine;
+  Rng.reseed t.rng ~seed;
+  Net.reset t.net;
+  t.outstanding <- 0;
+  t.kick_scheduled := false;
+  t.cluster <- Hlock_cluster.create ?config ~oracle ?restore ~net:t.net ~nodes:t.nodes ~locks ()
+
+let engine t = t.engine
+let net t = t.net
+let cluster t = t.cluster
+let nodes t = t.nodes
+let outstanding t = t.outstanding
+let now t = Engine.now t.engine
+let schedule t ~after f = Engine.schedule t.engine ~after f
+let mean_latency t = Net.mean_latency t.net
+let message_counters t = Net.counters t.net
+
+(* The custody watchdog runs while requests are outstanding. *)
+let rec ensure_kicking t =
+  if not !(t.kick_scheduled) then begin
+    t.kick_scheduled := true;
+    Engine.schedule t.engine ~after:(8.0 *. Net.mean_latency t.net) (fun () ->
+        t.kick_scheduled := false;
+        if t.outstanding > 0 then begin
+          Hlock_cluster.kick_all t.cluster;
+          ensure_kicking t
+        end)
+  end
+
+let request ?priority t ~node ~lock ~mode ~on_granted =
+  t.outstanding <- t.outstanding + 1;
+  ensure_kicking t;
+  Hlock_cluster.request ?priority t.cluster ~node ~lock ~mode ~on_granted:(fun () ->
+      t.outstanding <- t.outstanding - 1;
+      on_granted ())
+
+let release t ~node ~lock ~seq = Hlock_cluster.release t.cluster ~node ~lock ~seq
+
+let upgrade t ~node ~lock ~seq ~on_upgraded =
+  t.outstanding <- t.outstanding + 1;
+  ensure_kicking t;
+  Hlock_cluster.upgrade t.cluster ~node ~lock ~seq ~on_upgraded:(fun () ->
+      t.outstanding <- t.outstanding - 1;
+      on_upgraded ())
+
+let drain t =
+  match Engine.run t.engine with
+  | Engine.Horizon_reached | Engine.Event_limit -> Error `Undrained
+  | Engine.Drained -> if t.outstanding > 0 then Error (`Stuck t.outstanding) else Ok ()
+
+let export_lock t ~lock = Hlock_cluster.export_lock t.cluster ~lock
+
+let quiescent_violations t = Hlock_cluster.quiescent_violations t.cluster

@@ -1,0 +1,75 @@
+(* Deterministic sharded-service traffic.
+
+   The namespace-level plan is rounds of jobs; a job is one request
+   burst against one lock set. Which sets get traffic is drawn once,
+   globally, before any shard placement decision — optionally Zipf-skewed
+   toward hot sets — so the plan (and every burst's content) is identical
+   whatever the shard count, bucket count or migration schedule. Burst
+   contents are derived from a per-(set, burst) seed, never from plan
+   position or executing shard. *)
+
+module Rng = Dcs_sim.Rng
+module Mode = Dcs_modes.Mode
+
+type job = { set : int; burst : int }
+
+type t = { lock_sets : int; rounds : job array array; total_bursts : int }
+
+(* Bursts per set are bounded by the salt stride below so (set, burst)
+   pairs stay injective into the seed space. *)
+let max_bursts_per_set = 1 lsl 20
+
+let salt_of_job { set; burst } =
+  if burst >= max_bursts_per_set then invalid_arg "Traffic.salt_of_job: burst index too large";
+  (set * max_bursts_per_set) + burst
+
+let plan ?(skew = 0.0) ~seed ~lock_sets ~rounds ~jobs_per_round () =
+  if lock_sets < 1 then invalid_arg "Traffic.plan: need at least one lock set";
+  if rounds < 0 || jobs_per_round < 0 then invalid_arg "Traffic.plan: negative plan size";
+  let rng = Rng.create ~seed:(Dcs_netkit.Parallel.cell_seed ~base:seed ~salt:999983) in
+  let draw_set =
+    if skew <= 0.0 then fun () -> Rng.int rng ~bound:lock_sets
+    else
+      let z = Dcs_workload.Zipf.create ~n:lock_sets ~theta:skew in
+      fun () -> Dcs_workload.Zipf.sample z rng
+  in
+  let bursts_seen = Hashtbl.create 1024 in
+  let next_burst set =
+    let b = match Hashtbl.find_opt bursts_seen set with None -> 0 | Some b -> b in
+    if b + 1 >= max_bursts_per_set then invalid_arg "Traffic.plan: too many bursts for one set";
+    Hashtbl.replace bursts_seen set (b + 1);
+    b
+  in
+  let round _ =
+    Array.init jobs_per_round (fun _ ->
+        let set = draw_set () in
+        { set; burst = next_burst set })
+  in
+  { lock_sets; rounds = Array.init rounds round; total_bursts = rounds * jobs_per_round }
+
+(* {1 Burst contents} *)
+
+type op = { at : float; node : int; mode : Mode.t; upgrade : bool; hold : float; priority : int }
+
+(* The fuzzer's conflict-heavy mix (Script.draw_mode): writers and
+   updaters oversampled relative to the paper's airline mix, because a
+   burst should exercise transfers and freezes, not just cache hits. *)
+let draw_mode rng =
+  let r = Rng.int rng ~bound:100 in
+  if r < 20 then Mode.IR
+  else if r < 50 then Mode.R
+  else if r < 65 then Mode.U
+  else if r < 80 then Mode.IW
+  else Mode.W
+
+let burst_ops ~seed ~nodes ~ops =
+  if nodes < 1 || ops < 0 then invalid_arg "Traffic.burst_ops";
+  let rng = Rng.create ~seed in
+  let t = ref 0.0 in
+  List.init ops (fun _ ->
+      t := !t +. Rng.exponential rng ~mean:30.0;
+      let mode = draw_mode rng in
+      let upgrade = mode = Mode.U && Rng.bool rng in
+      let priority = if Rng.int rng ~bound:10 = 0 then 1 + Rng.int rng ~bound:3 else 0 in
+      let hold = Float.min 200.0 (Rng.exponential rng ~mean:15.0) in
+      { at = !t; node = Rng.int rng ~bound:nodes; mode; upgrade; hold; priority })

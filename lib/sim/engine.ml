@@ -43,6 +43,15 @@ let create () =
 
 let set_tick t hook = t.tick <- hook
 
+let reset t =
+  (* Drop queued callbacks explicitly so the retained capacity does not
+     keep closures (and whatever they capture) alive across runs. *)
+  if t.size > 0 then Array.fill t.vals 0 t.size nothing;
+  t.size <- 0;
+  t.next_seq <- 0;
+  t.clock.time <- 0.0;
+  t.processed <- 0
+
 let now t = t.clock.time
 
 let ensure_room t =

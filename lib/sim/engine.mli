@@ -16,6 +16,13 @@ type outcome =
 
 val create : unit -> t
 
+(** Rewind to the just-created state — clock at 0, no queued events, event
+    and sequence counters zeroed — retaining the heap's capacity, so a
+    pooled engine can run many back-to-back simulations without
+    re-growing. The tick hook is kept; callers that installed one manage
+    it themselves. *)
+val reset : t -> unit
+
 (** Current simulated time (ms). 0 before any event fires. *)
 val now : t -> float
 

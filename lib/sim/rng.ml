@@ -4,6 +4,8 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 
 let create ~seed = { state = seed }
 
+let reseed t ~seed = t.state <- seed
+
 (* SplitMix64 step (Steele, Lea, Flood 2014). *)
 let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;

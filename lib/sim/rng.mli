@@ -11,6 +11,11 @@ type t
 (** [create ~seed] makes a generator; equal seeds yield equal streams. *)
 val create : seed:int64 -> t
 
+(** [reseed t ~seed] rewinds [t] to the state [create ~seed] would give,
+    in place — pooled simulation cells reseed their generator between
+    runs instead of allocating a fresh one. *)
+val reseed : t -> seed:int64 -> unit
+
 (** Next raw 64-bit value. *)
 val next_int64 : t -> int64
 

@@ -23,6 +23,13 @@ let create ?capacity ~enabled () =
 
 let enabled t = t.enabled
 
+let reset t =
+  (* Release the retained lines (they can root arbitrary strings) but keep
+     the arrays themselves: a pooled trace restarts without reallocating. *)
+  Array.fill t.lines 0 (Array.length t.lines) "";
+  t.total <- 0;
+  t.hash <- 0xcbf29ce484222325L
+
 let fnv_prime = 0x100000001b3L
 
 let hash_byte h b =

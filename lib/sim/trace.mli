@@ -13,6 +13,10 @@ val create : ?capacity:int -> enabled:bool -> unit -> t
 
 val enabled : t -> bool
 
+(** Forget every entry and restart the digest at its initial value,
+    keeping the allocated ring so a pooled trace restarts for free. *)
+val reset : t -> unit
+
 (** [record t ~time msg] appends an entry; [msg] is forced only when the
     trace is enabled. *)
 val record : t -> time:float -> (unit -> string) -> unit

@@ -1,9 +1,11 @@
 (** Wire format for protocol messages.
 
     An envelope identifies the sending node and the lock object; the
-    payload is either a hierarchical-protocol message or a Naimi baseline
-    message. Frames are versioned: decoding rejects unknown versions with
-    {!Buf.Malformed}.
+    payload is a hierarchical-protocol message, a Naimi baseline message,
+    or a shard-service control message ({!Shard_msg} — directory traffic
+    and bucket-migration handoffs, versioned alongside v4 as a third
+    payload tag). Frames are versioned: decoding rejects unknown versions
+    with {!Buf.Malformed}.
 
     Two encode/decode surfaces exist. The string API ({!encode} /
     {!decode}) is a thin convenience shim. The flat API
@@ -20,6 +22,7 @@
 type payload =
   | Hlock of Dcs_hlock.Msg.t
   | Naimi of Dcs_naimi.Naimi.msg
+  | Shard of Shard_msg.t
 
 type envelope = {
   src : Dcs_proto.Node_id.t;
@@ -72,3 +75,16 @@ val write_frame : out_channel -> envelope -> unit
 (** Read one frame; [None] on clean end-of-stream at a frame boundary.
     Raises {!Buf.Malformed} on mid-frame truncation or oversized frames. *)
 val read_frame : in_channel -> envelope option
+
+(** {1 Cluster-state blobs}
+
+    One lock object's per-node population ({!Dcs_hlock.Node.snapshot}s,
+    indexed by node id) as a compact byte string — the at-rest storage
+    format the shard router keeps between bursts, using the same snapshot
+    codec the handoff wire path uses, so stored and migrated state cannot
+    diverge. *)
+
+val encode_cluster_state : Dcs_hlock.Node.snapshot array -> string
+
+(** Raises {!Buf.Malformed} on garbage or truncation. *)
+val decode_cluster_state : string -> Dcs_hlock.Node.snapshot array

@@ -1,0 +1,52 @@
+(* Control messages for the sharded lock-namespace service
+   ({!Dcs_shard}): bucket-ownership directory traffic and the live
+   bucket-migration handoff. They ride the existing envelope as a third
+   payload arm alongside the hlock and Naimi protocol messages
+   ({!Codec}), so shard processes and protocol nodes share one framing,
+   one decoder and one validation path. *)
+
+(* One bucket-ownership directory row: [bucket] is homed at shard [home]
+   as of directory [version]. Versions increase by one per ownership
+   transition, so stale updates are detectable. *)
+type dir_entry = { bucket : int; home : int; version : int }
+
+(* One lock set travelling in a handoff: its accumulated service
+   accounting and the full per-node protocol state
+   ({!Dcs_hlock.Node.snapshot} — tree anchors, copysets, queues, frozen
+   sets). *)
+type handoff_entry = {
+  set : int;
+  bursts : int;  (* request bursts served so far *)
+  grants : int;  (* grants issued so far *)
+  msgs : int;  (* protocol messages sent so far *)
+  state : Dcs_hlock.Node.snapshot array;
+}
+
+type t =
+  | Dir_lookup of { bucket : int }  (* who homes this bucket? *)
+  | Dir_info of dir_entry  (* lookup answer *)
+  | Dir_update of dir_entry  (* ownership transition broadcast *)
+  | Handoff of {
+      bucket : int;
+      version : int;  (* directory version the migration commits at *)
+      entries : handoff_entry list;
+      parked : (int * int) list;
+          (* (set, burst) requests parked during the migration, to be
+             replayed in order by the new home *)
+    }
+  | Handoff_ack of { bucket : int; version : int }
+  | Round_done of { shard : int; round : int; bursts : int; grants : int }
+      (* end-of-round barrier between shard processes *)
+
+let pp ppf = function
+  | Dir_lookup { bucket } -> Format.fprintf ppf "Dir_lookup b%d" bucket
+  | Dir_info { bucket; home; version } ->
+      Format.fprintf ppf "Dir_info b%d->s%d v%d" bucket home version
+  | Dir_update { bucket; home; version } ->
+      Format.fprintf ppf "Dir_update b%d->s%d v%d" bucket home version
+  | Handoff { bucket; version; entries; parked } ->
+      Format.fprintf ppf "Handoff b%d v%d |sets|=%d |parked|=%d" bucket version
+        (List.length entries) (List.length parked)
+  | Handoff_ack { bucket; version } -> Format.fprintf ppf "Handoff_ack b%d v%d" bucket version
+  | Round_done { shard; round; bursts; grants } ->
+      Format.fprintf ppf "Round_done s%d r%d bursts=%d grants=%d" shard round bursts grants

@@ -11,6 +11,7 @@ type config = {
   cs_time : Dcs_sim.Dist.t;
   idle_time : Dcs_sim.Dist.t;
   ops_per_node : int;
+  skew : float;
 }
 
 let default_config =
@@ -21,7 +22,16 @@ let default_config =
     cs_time = Dcs_sim.Dist.uniform_around 15.0;
     idle_time = Dcs_sim.Dist.uniform_around 150.0;
     ops_per_node = 20;
+    skew = 0.0;
   }
+
+let entry_zipf config =
+  if config.skew <= 0.0 then None else Some (Zipf.create ~n:config.entries ~theta:config.skew)
+
+let draw_entry ?zipf config rng =
+  match zipf with
+  | Some z -> Zipf.sample z rng
+  | None -> Dcs_sim.Rng.int rng ~bound:config.entries
 
 let sample_class config rng =
   let wir, wr, wu, wiw, ww = config.mix in
@@ -33,10 +43,10 @@ let sample_class config rng =
   else if x < wir +. wr +. wu +. wiw then Mode.IW
   else Mode.W
 
-let sample_op config rng =
+let sample_op ?zipf config rng =
   match sample_class config rng with
-  | Mode.IR -> Entry_op { intent = Mode.IR; entry_mode = Mode.R; entry = Dcs_sim.Rng.int rng ~bound:config.entries }
-  | Mode.IW -> Entry_op { intent = Mode.IW; entry_mode = Mode.W; entry = Dcs_sim.Rng.int rng ~bound:config.entries }
+  | Mode.IR -> Entry_op { intent = Mode.IR; entry_mode = Mode.R; entry = draw_entry ?zipf config rng }
+  | Mode.IW -> Entry_op { intent = Mode.IW; entry_mode = Mode.W; entry = draw_entry ?zipf config rng }
   | Mode.R -> Table_op { mode = Mode.R; upgrade = false }
   | Mode.W -> Table_op { mode = Mode.W; upgrade = false }
   | Mode.U -> Table_op { mode = Mode.U; upgrade = Dcs_sim.Rng.float rng < config.upgrade_fraction }

@@ -30,15 +30,25 @@ type config = {
   cs_time : Dcs_sim.Dist.t;  (** critical-section length (ms); paper mean 15 *)
   idle_time : Dcs_sim.Dist.t;  (** inter-request idle time (ms); paper mean 150 *)
   ops_per_node : int;  (** requests each node issues *)
+  skew : float;
+      (** Zipfian hot-entry skew (theta): 0 (the default) keeps the
+          paper's uniform entry choice; larger values concentrate entry
+          operations on a few hot entries ({!Zipf}, YCSB-style; 0.99 is
+          the YCSB default). Table operations are unaffected. *)
 }
 
 (** The paper's parameters: 10 entries, 80/10/4/5/1 mix, half of U ops
     upgrade, CS ~ uniform around 15 ms, idle ~ uniform around 150 ms,
-    20 ops per node. *)
+    20 ops per node, no skew. *)
 val default_config : config
 
-(** Draw one operation. *)
-val sample_op : config -> Dcs_sim.Rng.t -> op
+(** The sampler realizing [config.skew], built once (O(entries)); [None]
+    when skew is 0. Pass it to every {!sample_op} call of a run. *)
+val entry_zipf : config -> Zipf.t option
+
+(** Draw one operation. [zipf] (from {!entry_zipf}) skews the entry
+    choice; omitted, entries are uniform regardless of [config.skew]. *)
+val sample_op : ?zipf:Zipf.t -> config -> Dcs_sim.Rng.t -> op
 
 (** Modes this operation locks, table first: [Table_op] → one mode,
     [Entry_op] → intent then entry mode. *)

@@ -1,0 +1,50 @@
+(* Zipfian sampler over [0, n): Gray et al.'s self-similar construction
+   as popularized by YCSB. The zeta normalizer is precomputed at [create]
+   so each draw is O(1); the two leading ranks are special-cased exactly
+   and the tail uses the closed-form inverse. Rank 0 is the hottest
+   element; for theta -> 0 the distribution approaches uniform. *)
+
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;  (* 1 / (1 - theta) *)
+  zetan : float;  (* sum_{i=1..n} 1/i^theta *)
+  eta : float;
+  half_pow_theta : float;  (* 0.5^theta, cached for the rank-1 cutoff *)
+}
+
+let zeta n theta =
+  let acc = ref 0.0 in
+  for i = 1 to n do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !acc
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0.0 || theta >= 1.0 then invalid_arg "Zipf.create: theta must be in [0, 1)";
+  let zetan = zeta n theta in
+  let zeta2 = if n >= 2 then 1.0 +. Float.pow 0.5 theta else zetan in
+  let eta =
+    (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta)) /. (1.0 -. (zeta2 /. zetan))
+  in
+  { n; theta; alpha = 1.0 /. (1.0 -. theta); zetan; eta; half_pow_theta = Float.pow 0.5 theta }
+
+let n t = t.n
+let theta t = t.theta
+
+let sample t rng =
+  if t.n = 1 then 0
+  else begin
+    let u = Dcs_sim.Rng.float rng in
+    let uz = u *. t.zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. t.half_pow_theta then 1
+    else begin
+      let rank =
+        int_of_float (float_of_int t.n *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha)
+      in
+      (* Float round-off can land exactly on n. *)
+      if rank >= t.n then t.n - 1 else if rank < 0 then 0 else rank
+    end
+  end

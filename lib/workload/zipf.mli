@@ -1,0 +1,21 @@
+(** Zipfian element selection for skewed workloads (Gray's self-similar
+    generator, the YCSB construction): element ranks [0, n) drawn with
+    probability proportional to [1/(rank+1)^theta], rank 0 hottest.
+
+    [theta = 0] is uniform; YCSB's default skew is [theta = 0.99], where a
+    few hot elements absorb most of the traffic — the regime that stresses
+    a sharded namespace's balance and the protocol's cache-revocation
+    path. The normalizer is precomputed at {!create} (O(n) once), so every
+    {!sample} is O(1) and allocation-free. *)
+
+type t
+
+(** Raises [Invalid_argument] unless [n > 0] and [0 <= theta < 1]. *)
+val create : n:int -> theta:float -> t
+
+val n : t -> int
+val theta : t -> float
+
+(** Draw one rank in [0, n) using the given stream; deterministic in the
+    stream's state. *)
+val sample : t -> Dcs_sim.Rng.t -> int

@@ -147,11 +147,11 @@ let test_conf_liveness_toggle () =
 (* {1 Fuzz driver} *)
 
 let test_script_deterministic () =
-  let a = Script.generate ~seed:17L ~nodes:8 ~locks:2 ~ops:40 in
-  let b = Script.generate ~seed:17L ~nodes:8 ~locks:2 ~ops:40 in
+  let a = Script.generate ~seed:17L ~nodes:8 ~locks:2 ~ops:40 () in
+  let b = Script.generate ~seed:17L ~nodes:8 ~locks:2 ~ops:40 () in
   checkb "same seed, same script" true (a = b);
   checkb "valid" true (Result.is_ok (Script.validate a));
-  let c = Script.generate ~seed:18L ~nodes:8 ~locks:2 ~ops:40 in
+  let c = Script.generate ~seed:18L ~nodes:8 ~locks:2 ~ops:40 () in
   checkb "different seed, different script" false (a = c)
 
 let test_fuzz_deterministic () =

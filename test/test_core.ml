@@ -269,6 +269,39 @@ let prop_hierarchy_plans =
           && List.length plan = List.length (H.ancestors h name) + 1)
         spec)
 
+let test_enumeration_and_stats () =
+  let svc = S.create ~nodes:4 ~seed:9L ~oracle:true ~locks:[ "a"; "b"; "c" ] () in
+  Alcotest.check Alcotest.int "lock_count" 3 (S.lock_count svc);
+  checkb "stats unknown name" true
+    (try
+       ignore (S.stats svc ~name:"nope");
+       false
+     with Not_found -> true);
+  (* Take and keep grants: a held R on "a" at two nodes, a held W on "b". *)
+  S.lock svc ~node:1 ~name:"a" ~mode:Core.Mode.R (fun _ -> ());
+  S.lock svc ~node:2 ~name:"a" ~mode:Core.Mode.R (fun _ -> ());
+  S.lock svc ~node:3 ~name:"b" ~mode:Core.Mode.W (fun _ -> ());
+  (* A completed cycle on "c" leaves the mode cached (granted, unheld). *)
+  S.lock svc ~node:2 ~name:"c" ~mode:Core.Mode.R (fun t -> S.unlock svc t);
+  S.run svc;
+  let a = S.stats svc ~name:"a" in
+  Alcotest.check Alcotest.int "two readers hold a" 2 (List.length a.S.held);
+  List.iter (fun (_, m) -> checkb "reader mode" true (Core.Mode.equal m Core.Mode.R)) a.S.held;
+  Alcotest.check Alcotest.int "nothing waiting" 0 a.S.waiting;
+  checkb "token somewhere" true (a.S.token_node >= 0 && a.S.token_node < 4);
+  let b = S.stats svc ~name:"b" in
+  checkb "writer holds b" true (b.S.held = [ (3, Core.Mode.W) ]);
+  checkb "traffic accounted" true (Core.Counters.total b.S.messages > 0);
+  (* Enumeration covers every lock in creation order; idle set is idle. *)
+  let all = S.all_stats svc in
+  Alcotest.check
+    Alcotest.(list string)
+    "all_stats order" [ "a"; "b"; "c" ]
+    (List.map (fun (s : S.lock_stats) -> s.S.name) all);
+  let c = S.stats svc ~name:"c" in
+  checkb "released lock has no holders" true (c.S.held = [] && c.S.waiting = 0);
+  checkb "released mode stays cached" true (c.S.cached_nodes >= 1)
+
 let () =
   Alcotest.run "core_service"
     [
@@ -284,6 +317,7 @@ let () =
           Alcotest.test_case "readers share" `Quick test_readers_share;
           Alcotest.test_case "message accounting" `Quick test_message_accounting;
           Alcotest.test_case "priority through service" `Quick test_priority_through_service;
+          Alcotest.test_case "enumeration and stats" `Quick test_enumeration_and_stats;
         ] );
       ( "hierarchy",
         [
